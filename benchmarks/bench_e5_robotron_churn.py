@@ -1,0 +1,125 @@
+"""E5 — production-like configuration churn (the Robotron numbers, §2.1).
+
+"Each day on average, more than 50 lines change across models ...
+backbone devices average a dozen changes per week, with over 150 lines
+updated per change.  These require continuous re-configurations and are
+updated incrementally."
+
+We drive the snvs-style derivation with the Robotron churn mix (70%
+attribute updates, 15% adds, 15% removes) at two network sizes and
+check the §2.1 claim: the incremental controller's cost tracks the
+*churn*, the recompute controller's cost tracks the *network*.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.baselines.full_recompute import FullRecomputeController
+from repro.dlog import compile_program
+from repro.workloads.churn import robotron_churn
+
+N_VLANS = 16
+N_EVENTS = 150
+
+PROGRAM = """
+input relation Port(port: bigint, vlan: bigint)
+output relation InVlan(port: bigint, vlan: bigint)
+output relation Flood(vlan: bigint, port: bigint)
+InVlan(p, v) :- Port(p, v).
+Flood(v, p) :- Port(p, v).
+"""
+
+
+def derive(config):
+    out = set()
+    for port, vlan in config.get("Port", set()):
+        out.add(("in_vlan", port, vlan))
+        out.add(("flood", vlan, port))
+    return out
+
+
+def _apply_churn(apply_fn, state, events):
+    """Translate churn events into row deltas; time only apply_fn."""
+    total = 0.0
+    for event in events:
+        deletes, inserts = [], []
+        if event.kind == "add_port":
+            inserts.append((event.port, event.vlan))
+        elif event.kind == "del_port":
+            if event.port in state:
+                deletes.append((event.port, state.pop(event.port)))
+        else:  # retag/move: attribute update
+            if event.port in state:
+                deletes.append((event.port, state[event.port]))
+                inserts.append((event.port, event.vlan))
+        for port, vlan in inserts:
+            state[port] = vlan
+        started = time.perf_counter()
+        apply_fn(inserts, deletes)
+        total += time.perf_counter() - started
+    return total
+
+
+def _run_pair(n_ports):
+    initial = [(p, 1 + (p % N_VLANS)) for p in range(n_ports)]
+
+    runtime = compile_program(PROGRAM).start()
+    runtime.transaction(inserts={"Port": initial})
+    state = dict(initial)
+    events = list(robotron_churn(n_ports, N_VLANS, N_EVENTS, seed=3))
+    inc_cpu = _apply_churn(
+        lambda ins, dels: runtime.transaction(
+            inserts={"Port": ins}, deletes={"Port": dels}
+        ),
+        state,
+        events,
+    )
+
+    controller = FullRecomputeController(derive)
+    controller.apply_change(inserts={"Port": initial})
+    state = dict(initial)
+    events = list(robotron_churn(n_ports, N_VLANS, N_EVENTS, seed=3))
+    full_cpu = _apply_churn(
+        lambda ins, dels: controller.apply_change(
+            inserts={"Port": ins}, deletes={"Port": dels}
+        ),
+        state,
+        events,
+    )
+    return inc_cpu, full_cpu
+
+
+def run_churn_comparison():
+    return {n_ports: _run_pair(n_ports) for n_ports in (500, 2000)}
+
+
+def test_e5_robotron_churn(benchmark):
+    results = benchmark.pedantic(run_churn_comparison, rounds=1, iterations=1)
+
+    rows = []
+    for n_ports, (inc, full) in results.items():
+        rows.append(
+            (
+                n_ports,
+                f"{inc * 1e3:.1f} ms",
+                f"{full * 1e3:.1f} ms",
+                f"{full / inc:.1f}x",
+            )
+        )
+    report(
+        f"E5: CPU for {N_EVENTS} Robotron-style changes",
+        rows,
+        ["ports", "incremental", "recompute", "ratio"],
+    )
+
+    inc_small, full_small = results[500]
+    inc_large, full_large = results[2000]
+    print(
+        f"4x network growth: incremental cost x{inc_large / inc_small:.2f}, "
+        f"recompute cost x{full_large / full_small:.2f}"
+    )
+    # Incremental cost ~ churn (flat in network size, generous bound);
+    # recompute cost ~ network size.
+    assert inc_large / inc_small < 2.5
+    assert full_large / full_small > 2.0
+    assert full_large / inc_large > 5.0

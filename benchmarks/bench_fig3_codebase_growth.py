@@ -1,0 +1,54 @@
+"""FIG3 — OVN controller codebase and OpenFlow fragment growth.
+
+Paper artifact: Figure 3 ("The growth of OVN's controller codebase and
+the number of OpenFlow fragments over time").  Shape to reproduce: both
+curves grow together over releases (near-perfect correlation), and the
+equivalent Nerpa program stays roughly an order of magnitude smaller
+with near-flat per-feature cost.
+"""
+
+from benchmarks.conftest import report
+from repro.apps.ovn_model import correlation, simulate_growth
+from repro.apps.snvs import build_snvs
+from repro.p4.openflow import compile_to_openflow
+
+
+def test_fig3_growth_series(benchmark):
+    points = benchmark(simulate_growth)
+
+    report(
+        "FIG3: OVN-like controller growth per release",
+        [
+            (p.release, p.n_features, p.imperative_loc, p.fragments, p.nerpa_loc)
+            for p in points
+        ],
+        ["release", "features", "imperative LoC", "OF fragments", "nerpa LoC"],
+    )
+    r = correlation(
+        [float(p.imperative_loc) for p in points],
+        [float(p.fragments) for p in points],
+    )
+    final = points[-1]
+    ratio = final.imperative_loc / final.nerpa_loc
+    print(f"correlation(LoC, fragments) = {r:.4f}   (paper: curves track)")
+    print(f"imperative/Nerpa final ratio = {ratio:.1f}x  (paper: >= 10x)")
+
+    assert r > 0.97
+    assert ratio >= 8
+    # Growth is monotone, like the figure.
+    locs = [p.imperative_loc for p in points]
+    assert locs == sorted(locs)
+
+
+def test_fig3_fragments_of_real_pipeline(benchmark):
+    """Ground the fragment metric: count real fragments produced by
+    lowering our actual snvs pipeline with the p4c-of analog."""
+    project = build_snvs()
+
+    program = benchmark(compile_to_openflow, project.pipeline)
+    print(
+        f"\nsnvs pipeline lowers to {program.fragment_count} OpenFlow "
+        f"fragments across {len(program.table_ids)} tables"
+    )
+    # 7 tables, each with 2-3 actions.
+    assert 12 <= program.fragment_count <= 30

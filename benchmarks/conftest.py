@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints a paper-style results block (series/rows matching
+the corresponding table or figure) in addition to pytest-benchmark's
+timing output, so `pytest benchmarks/ --benchmark-only -s` regenerates
+the evaluation artifacts directly.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows, columns) -> None:
+    """Print one experiment's results table."""
+    print(f"\n=== {title} ===")
+    header = " | ".join(f"{c:>18}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{str(v):>18}" for v in row))

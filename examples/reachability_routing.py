@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Recursive control plane: incremental reachability-based routing.
+
+The paper's introduction uses graph labeling — "a standard problem for
+computing forwarding tables" — as its motivating example.  This example
+runs exactly that program (two rules, recursive) against a fat-tree
+topology and shows that link failures and repairs do work proportional
+to the *affected* labels, not to the network.
+
+Run:  python examples/reachability_routing.py
+"""
+
+import time
+
+from repro.dlog import compile_program
+from repro.workloads.topology import fat_tree
+
+PROGRAM = """
+input relation GivenLabel(n: bigint, label: string)
+input relation Edge(a: bigint, b: bigint)
+output relation Label(n: bigint, label: string)
+
+Label(n, l) :- GivenLabel(n, l).
+Label(b, l) :- Label(a, l), Edge(a, b).
+"""
+
+
+def main():
+    edges = fat_tree(8)
+    nodes = {n for e in edges for n in e}
+    print(f"Fat-tree k=8: {len(nodes)} switches, {len(edges)} directed links")
+
+    runtime = compile_program(PROGRAM).start()
+
+    started = time.perf_counter()
+    result = runtime.transaction(
+        inserts={
+            "Edge": edges,
+            "GivenLabel": [(0, "reachable-from-core0")],
+        }
+    )
+    full = time.perf_counter() - started
+    labeled = len(runtime.dump("Label"))
+    print(f"Initial computation: {labeled} labels in {full * 1e3:.1f} ms\n")
+
+    # Fail one core uplink: only labels whose sole support crossed that
+    # link change.  In a fat tree there is massive path redundancy, so
+    # usually *nothing* changes.
+    a, b = edges[0]
+    started = time.perf_counter()
+    result = runtime.transaction(deletes={"Edge": [(a, b)]})
+    dt = time.perf_counter() - started
+    changed = sum(len(delta) for delta in result.deltas.values())
+    print(
+        f"Link ({a} -> {b}) failed: {changed} label change(s) "
+        f"in {dt * 1e3:.2f} ms (redundant paths absorb the failure)"
+    )
+
+    started = time.perf_counter()
+    runtime.transaction(inserts={"Edge": [(a, b)]})
+    dt = time.perf_counter() - started
+    print(f"Link repaired: {dt * 1e3:.2f} ms\n")
+
+    # Partition a whole pod by cutting its aggregation uplinks: now many
+    # labels really do disappear — still computed incrementally.
+    half = 4
+    n_core = half * half
+    pod0_aggs = [n_core + i for i in range(half)]
+    cut = [(x, y) for (x, y) in edges if x < n_core and y in pod0_aggs]
+    cut += [(y, x) for (x, y) in cut]
+    started = time.perf_counter()
+    result = runtime.transaction(deletes={"Edge": cut})
+    dt = time.perf_counter() - started
+    lost = len(result.deleted("Label"))
+    print(
+        f"Pod 0 partitioned ({len(cut)} links): {lost} labels retracted "
+        f"in {dt * 1e3:.1f} ms"
+    )
+    print(f"Labels remaining: {len(runtime.dump('Label'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Reproduction of "Full-Stack SDN" (Nerpa), HotNets 2022.
+
+Nerpa is a unified environment for programming all three planes of a
+software-defined network:
+
+* the **management plane** is a transactional, monitorable database
+  (:mod:`repro.mgmt`, an OVSDB analog);
+* the **control plane** is a typed, automatically incremental Datalog
+  program (:mod:`repro.dlog`, a DDlog analog);
+* the **data plane** is a P4-subset program executed by a behavioral
+  simulator (:mod:`repro.p4`), driven through a P4Runtime-style API
+  (:mod:`repro.p4runtime`).
+
+:mod:`repro.core` ties the planes together: it generates the control
+plane's input/output relation declarations from the management schema
+and the data-plane program, typechecks the whole stack as one unit, and
+runs the state-synchronization controller.
+
+Quickstart::
+
+    from repro.core import nerpa_build, NerpaController
+
+    project = nerpa_build(ovsdb_schema=..., dlog_source=..., p4_source=...)
+    controller = NerpaController(project)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,6 @@
+"""Analysis helpers: LoC accounting and simple statistics."""
+
+from repro.analysis.loc import count_loc
+from repro.analysis.stats import mean, percentile, stdev
+
+__all__ = ["count_loc", "mean", "percentile", "stdev"]

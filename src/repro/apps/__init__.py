@@ -1,0 +1,2 @@
+"""Applications built on the framework: the paper's ``snvs`` switch and
+the OVN codebase-evolution model behind Figure 3."""

@@ -1,0 +1,20 @@
+"""snvs — the Simple Network Virtual Switch (paper §4.3).
+
+The Nerpa repository's flagship example: an L2 virtual switch with
+VLANs (access and trunk ports), MAC learning through digests, a small
+L2 ACL, per-VLAN flooding, and port mirroring — written as the three
+Nerpa artifacts:
+
+* :data:`SNVS_SCHEMA` — the OVSDB management schema (5 tables);
+* :data:`SNVS_DLOG` — the hand-written control-plane rules;
+* :data:`SNVS_P4` — the data-plane program.
+
+:func:`build_snvs` compiles the full stack, and :class:`SnvsNetwork`
+stands up a complete running instance (database + controller +
+behavioral switch) for tests, examples, and benchmarks.
+"""
+
+from repro.apps.snvs.artifacts import SNVS_DLOG, SNVS_P4, SNVS_SCHEMA, build_snvs
+from repro.apps.snvs.network import SnvsNetwork
+
+__all__ = ["SNVS_DLOG", "SNVS_P4", "SNVS_SCHEMA", "SnvsNetwork", "build_snvs"]

@@ -1,0 +1,51 @@
+"""The non-incremental controller: rederive everything on each change.
+
+This is what §2.1 warns about: "Recomputing the state of an entire
+network on each change requires significant CPU resources ... and
+creates high control plane latency."  The controller holds the full
+configuration, recomputes the complete derived state with a
+user-supplied function on every event, and diffs against what is
+installed to emit data-plane writes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Set, Tuple
+
+
+class FullRecomputeController:
+    """Generic recompute-and-diff controller.
+
+    ``derive`` maps the configuration (a dict of row-sets per input
+    table) to the complete derived entry set.  ``apply_change`` mutates
+    one input table and recomputes; the returned delta is what a real
+    controller would push to devices.
+    """
+
+    def __init__(self, derive: Callable[[Dict[str, Set[tuple]]], Set[tuple]]):
+        self.derive = derive
+        self.config: Dict[str, Set[tuple]] = {}
+        self.installed: Set[tuple] = set()
+        self.recompute_count = 0
+        self.entries_computed = 0  # total derived entries over all runs
+
+    def table(self, name: str) -> Set[tuple]:
+        return self.config.setdefault(name, set())
+
+    def apply_change(
+        self,
+        inserts: Dict[str, Iterable[tuple]] = None,
+        deletes: Dict[str, Iterable[tuple]] = None,
+    ) -> Tuple[Set[tuple], Set[tuple]]:
+        """Apply input changes; returns ``(added, removed)`` entries."""
+        for name, rows in (deletes or {}).items():
+            self.table(name).difference_update(rows)
+        for name, rows in (inserts or {}).items():
+            self.table(name).update(rows)
+        new_state = self.derive(self.config)
+        self.recompute_count += 1
+        self.entries_computed += len(new_state)
+        added = new_state - self.installed
+        removed = self.installed - new_state
+        self.installed = new_state
+        return added, removed

@@ -1,0 +1,29 @@
+"""Nerpa: the unified full-stack SDN programming framework.
+
+This package is the paper's contribution proper.  Given the three
+artifacts a network programmer writes —
+
+1. an OVSDB-style **management schema** (:mod:`repro.mgmt.schema`),
+2. a **control-plane program** in the incremental Datalog dialect
+   (:mod:`repro.dlog`),
+3. a **data-plane program** in the P4 subset (:mod:`repro.p4`) —
+
+``nerpa_build`` generates the control plane's input/output relation
+declarations from the other two planes, typechecks everything together,
+and returns a :class:`~repro.core.pipeline.NerpaProject`.  A
+:class:`~repro.core.controller.NerpaController` then keeps the planes
+synchronized at runtime: management-plane transactions flow through the
+incremental control program and come out as P4Runtime table writes;
+data-plane digests flow back in as control-plane input changes.
+"""
+
+from repro.core.codegen import generate_declarations
+from repro.core.controller import NerpaController
+from repro.core.pipeline import NerpaProject, nerpa_build
+
+__all__ = [
+    "NerpaController",
+    "NerpaProject",
+    "generate_declarations",
+    "nerpa_build",
+]

@@ -1,0 +1,160 @@
+"""Generation of control-plane declarations from the other two planes.
+
+This automates the glue the paper calls out: "Nerpa's tooling generates
+an input relation for the controller for each table in the OVSDB
+management plane; it also generates a controller input relation for
+each packet digest in the P4 program.  An output relation for the
+controller is generated for each match-action table in the P4 program."
+
+The generator emits *dlog source text* (so the result is ordinary code
+the same compiler consumes, and counts toward the §4.3 LoC accounting)
+plus a :class:`GeneratedBindings` structure the controller uses to move
+values between planes at runtime.
+
+Shapes generated:
+
+* OVSDB table ``Port`` with columns ``name, vlan`` becomes::
+
+      input relation Port(uuid: string, name: string, vlan: bigint)
+
+* P4 table ``in_vlan`` with key ``std.ingress_port : exact`` (bit<16>)
+  and actions ``set_vlan(bit<12> vid)``, ``drop`` becomes::
+
+      typedef in_vlan_action_t = InVlanActionSetVlan{vid: bit<12>}
+                               | InVlanActionDrop
+      output relation InVlan(port: bit<16>, action: in_vlan_action_t)
+
+  (ternary tables get a trailing ``priority: bigint`` column;
+  lpm/ternary key columns are (value, len/mask) pairs);
+
+* P4 digest struct ``mac_learn_t`` becomes::
+
+      input relation MacLearn(mac: bit<48>, port: bit<16>, vlan: bit<12>)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import typebridge as TB
+from repro.errors import TypeCheckError
+from repro.mgmt.schema import DatabaseSchema
+from repro.p4.p4info import DigestInfo, P4Info, TableInfo
+
+
+class TableBinding:
+    """Runtime mapping between one output relation and one P4 table."""
+
+    def __init__(self, relation: str, info: TableInfo, has_priority: bool):
+        self.relation = relation
+        self.info = info
+        self.has_priority = has_priority
+        self.key_columns = TB.table_key_columns(info)
+        # constructor name -> (action name, param count)
+        self.actions_by_constructor: Dict[str, Tuple[str, int]] = {}
+
+    @property
+    def arity(self) -> int:
+        return len(self.key_columns) + 1 + (1 if self.has_priority else 0)
+
+
+class GeneratedBindings:
+    """Everything the controller needs to convert values at runtime."""
+
+    def __init__(self):
+        # relation name -> OVSDB table name
+        self.ovsdb_relations: Dict[str, str] = {}
+        # OVSDB table name -> relation name
+        self.relation_for_ovsdb: Dict[str, str] = {}
+        # relation name -> TableBinding
+        self.table_relations: Dict[str, TableBinding] = {}
+        # digest struct name -> relation name
+        self.digest_relations: Dict[str, str] = {}
+
+
+def generate_declarations(
+    schema: Optional[DatabaseSchema], p4info: Optional[P4Info]
+) -> Tuple[str, GeneratedBindings]:
+    """Produce (dlog source text, bindings) for the given planes."""
+    lines: List[str] = []
+    bindings = GeneratedBindings()
+    if schema is not None:
+        lines.append(f"// Input relations generated from OVSDB schema '{schema.name}'.")
+        for table in schema.tables.values():
+            lines.append(_ovsdb_relation(table, bindings))
+        lines.append("")
+    if p4info is not None:
+        if p4info.digests:
+            lines.append("// Input relations generated from P4 digests.")
+            for digest in p4info.digests.values():
+                lines.append(_digest_relation(digest, bindings))
+            lines.append("")
+        if p4info.tables:
+            lines.append("// Output relations generated from P4 match-action tables.")
+            for table in p4info.tables.values():
+                lines.extend(_table_relation(table, p4info, bindings))
+            lines.append("")
+    return "\n".join(lines), bindings
+
+
+def _ovsdb_relation(table, bindings: GeneratedBindings) -> str:
+    relation = table.name
+    if relation in bindings.ovsdb_relations:
+        raise TypeCheckError(f"duplicate generated relation {relation}")
+    columns = ["uuid: string"]
+    for column in table.columns.values():
+        columns.append(
+            f"{column.name}: {TB.ovsdb_column_to_dlog_text(column.type)}"
+        )
+    bindings.ovsdb_relations[relation] = table.name
+    bindings.relation_for_ovsdb[table.name] = relation
+    return f"input relation {relation}({', '.join(columns)})"
+
+
+def _digest_relation(digest: DigestInfo, bindings: GeneratedBindings) -> str:
+    relation = TB.relation_name_for_digest(digest.name)
+    columns = [f"{f.name}: bit<{f.width}>" for f in digest.fields]
+    bindings.digest_relations[digest.name] = relation
+    return f"input relation {relation}({', '.join(columns)})"
+
+
+def _table_relation(
+    table: TableInfo, p4info: P4Info, bindings: GeneratedBindings
+) -> List[str]:
+    relation = TB.relation_name_for_table(table.name)
+    binding = TableBinding(
+        relation,
+        table,
+        has_priority=any(
+            f.match_kind == "ternary" for f in table.match_fields
+        ),
+    )
+
+    ctors: List[str] = []
+    for action_name in table.action_names:
+        ctor = TB.action_constructor_name(table, action_name)
+        action_info = p4info.action(action_name)
+        binding.actions_by_constructor[ctor] = (
+            action_name,
+            len(action_info.params),
+        )
+        if action_info.params:
+            fields = ", ".join(
+                f"{p.name}: bit<{p.width}>" for p in action_info.params
+            )
+            ctors.append(f"{ctor}{{{fields}}}")
+        else:
+            ctors.append(ctor)
+
+    lines = [f"typedef {TB.action_union_name(table)} = {' | '.join(ctors)}"]
+
+    columns = [
+        f"{name}: {TB.match_field_to_dlog_text(field)}"
+        for name, field in binding.key_columns
+    ]
+    columns.append(f"action: {TB.action_union_name(table)}")
+    if binding.has_priority:
+        columns.append("priority: bigint")
+    lines.append(f"output relation {relation}({', '.join(columns)})")
+    bindings.table_relations[relation] = binding
+    return lines

@@ -1,0 +1,416 @@
+"""The Nerpa controller: state synchronization across the three planes.
+
+The controller owns the runtime loop the paper describes in §3:
+
+* it subscribes to the management database's change stream; each
+  committed transaction becomes one control-plane transaction;
+* the control program's *output deltas* become P4Runtime table writes,
+  pushed to every managed device (deletes before inserts, batched
+  atomically per sync);
+* data-plane **digests** (e.g. MAC learning) come back as insertions
+  into the corresponding generated input relation — the feedback loop;
+* rows of the reserved ``MulticastGroup(group, port)`` output relation
+  are folded into per-group port lists and applied as multicast
+  configuration.
+
+Event processing is synchronous and serialized by a lock, so it works
+identically whether the management plane is an in-process
+:class:`~repro.mgmt.database.Database` (callbacks arrive on the writing
+thread) or a remote :class:`~repro.mgmt.client.ManagementClient`
+(callbacks arrive on its reader thread).
+
+Per-sync latency — the interval the paper measures in §4.3 between the
+controller *reading* a change and the data-plane entry being written —
+is recorded in :attr:`NerpaController.sync_latencies`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.codegen import TableBinding
+from repro.core.pipeline import MULTICAST_RELATION, NerpaProject
+from repro.core.typebridge import dlog_value_to_match, ovsdb_value_to_dlog
+from repro.dlog.dataflow.zset import ZSet
+from repro.dlog.values import StructValue
+from repro.errors import ReproError, TypeCheckError
+from repro.mgmt.database import Database
+from repro.mgmt.monitor import MonitorSpec, TableUpdates
+from repro.p4.simulator import Simulator
+from repro.p4.tables import TableEntry
+from repro.p4runtime.api import DeviceService, TableWrite
+
+
+class _LocalMgmt:
+    def __init__(self, db: Database):
+        self.db = db
+        self.monitor = None
+
+    def subscribe(self, tables, callback) -> TableUpdates:
+        spec = MonitorSpec({t: None for t in tables})
+        self.monitor, initial = self.db.add_monitor(spec, callback)
+        return initial
+
+    def unsubscribe(self) -> None:
+        if self.monitor is not None:
+            self.db.remove_monitor(self.monitor)
+            self.monitor = None
+
+
+class _RemoteMgmt:
+    def __init__(self, client):
+        self.client = client
+        self.monitor_id = None
+
+    def subscribe(self, tables, callback) -> TableUpdates:
+        self.monitor_id, initial = self.client.monitor(
+            {t: None for t in tables}, callback
+        )
+        return initial
+
+    def unsubscribe(self) -> None:
+        if self.monitor_id is not None:
+            self.client.monitor_cancel(self.monitor_id)
+            self.monitor_id = None
+
+
+class _LocalDevice:
+    def __init__(self, target):
+        if isinstance(target, Simulator):
+            self.service = DeviceService(target)
+        else:
+            self.service = target
+
+    def write(self, updates) -> None:
+        self.service.write(updates)
+
+    def read_table(self, table: str):
+        return [
+            TableWrite("INSERT", table, e)
+            for e in self.service.read_table(table)
+        ]
+
+    def set_multicast_group(self, group_id, ports) -> None:
+        self.service.set_multicast_group(group_id, ports)
+
+    def delete_multicast_group(self, group_id) -> None:
+        self.service.delete_multicast_group(group_id)
+
+    def attach_digests(self, callback) -> None:
+        sim = self.service.sim
+        previous = sim.digest_callback
+
+        def chained(message):
+            if previous is not None:
+                previous(message)
+            callback(message.name, message.values)
+
+        sim.digest_callback = chained
+
+
+class _RemoteDevice:
+    def __init__(self, client):
+        self.client = client
+
+    def write(self, updates) -> None:
+        self.client.write(updates)
+
+    def read_table(self, table: str):
+        return self.client.read_table(table)
+
+    def set_multicast_group(self, group_id, ports) -> None:
+        self.client.set_multicast_group(group_id, ports)
+
+    def delete_multicast_group(self, group_id) -> None:
+        self.client.delete_multicast_group(group_id)
+
+    def attach_digests(self, callback) -> None:
+        self.client.subscribe_digests(callback)
+
+
+def _wrap_device(target):
+    from repro.p4runtime.client import P4RuntimeClient
+
+    if isinstance(target, P4RuntimeClient):
+        return _RemoteDevice(target)
+    if isinstance(target, (Simulator, DeviceService)):
+        return _LocalDevice(target)
+    raise TypeError(f"cannot manage device {target!r}")
+
+
+def _wrap_mgmt(target):
+    from repro.mgmt.client import ManagementClient
+
+    if isinstance(target, Database):
+        return _LocalMgmt(target)
+    if isinstance(target, ManagementClient):
+        return _RemoteMgmt(target)
+    raise TypeError(f"cannot use {target!r} as a management plane")
+
+
+class NerpaController:
+    """Keeps management, control, and data planes synchronized."""
+
+    def __init__(self, project: NerpaProject, mgmt, devices):
+        self.project = project
+        self.bindings = project.bindings
+        self.runtime = project.program.start()
+        self.mgmt = _wrap_mgmt(mgmt)
+        self.devices = [_wrap_device(d) for d in devices]
+        self._lock = threading.RLock()
+        self._mcast_members: Dict[int, set] = {}
+        self._started = False
+        # When not None, table writes are collected here instead of
+        # being sent (used to compute the desired state on a
+        # reconciling restart).  Multicast config is idempotent and is
+        # always applied directly.
+        self._buffer_writes: Optional[List[TableWrite]] = None
+
+        # Metrics.
+        self.sync_count = 0
+        self.sync_latencies: List[float] = []
+        self.entries_written = 0
+        self.digests_processed = 0
+        self.last_result = None
+
+        self._ovsdb_tables = list(self.bindings.relation_for_ovsdb)
+        # Cache of schema column order per OVSDB table.
+        self._columns = {
+            table: list(project.schema.table(table).columns.values())
+            for table in self._ovsdb_tables
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, reconcile: bool = False) -> "NerpaController":
+        """Subscribe to both ends and sync the initial state.
+
+        With ``reconcile=True`` the controller assumes it may be
+        restarting against devices that already hold entries (e.g. the
+        previous controller instance crashed): instead of blindly
+        inserting, it computes the desired state from the initial
+        snapshot, reads each device's tables, and issues only the
+        difference — stale entries are deleted, missing ones inserted,
+        already-correct ones left untouched.
+        """
+        if self._started:
+            raise ReproError("controller already started")
+        self._started = True
+        for device in self.devices:
+            device.attach_digests(self._on_digest)
+        if reconcile:
+            # Compute desired state silently (buffer writes), then diff.
+            self._buffer_writes = []
+            self._push_outputs(self.runtime.initial_result)
+            initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
+            self._on_updates(initial)
+            desired = self._buffer_writes
+            self._buffer_writes = None
+            self._reconcile(desired)
+        else:
+            self._push_outputs(self.runtime.initial_result)
+            initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
+            self._on_updates(initial)
+        return self
+
+    def _reconcile(self, desired_writes: List[TableWrite]) -> None:
+        """Bring every device to exactly the desired entry set."""
+        desired: Dict[str, Dict[tuple, TableWrite]] = {}
+        for write in desired_writes:
+            if write.kind == "INSERT":
+                desired.setdefault(write.table, {})[
+                    write.entry.match_key()
+                ] = write
+            elif write.kind == "DELETE":
+                desired.get(write.table, {}).pop(write.entry.match_key(), None)
+        for device in self.devices:
+            fixes: List[TableWrite] = []
+            for binding in self.bindings.table_relations.values():
+                table = binding.info.name
+                want = dict(desired.get(table, {}))
+                for existing in device.read_table(table):
+                    key = existing.entry.match_key()
+                    wanted = want.pop(key, None)
+                    if wanted is None:
+                        fixes.append(
+                            TableWrite.delete(table, existing.entry)
+                        )
+                    elif (
+                        wanted.entry.action != existing.entry.action
+                        or wanted.entry.action_params
+                        != existing.entry.action_params
+                    ):
+                        fixes.append(TableWrite.modify(table, wanted.entry))
+                fixes.extend(want.values())  # still-missing entries
+            fixes.sort(key=lambda w: 0 if w.kind == "DELETE" else 1)
+            if fixes:
+                device.write(fixes)
+                self.entries_written += len(fixes)
+
+    def stop(self) -> None:
+        self.mgmt.unsubscribe()
+        self._started = False
+
+    def __enter__(self) -> "NerpaController":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- management-plane events ---------------------------------------------------
+
+    def _on_updates(self, updates: TableUpdates) -> None:
+        with self._lock:
+            started = time.perf_counter()
+            inserts: Dict[str, List[tuple]] = {}
+            deletes: Dict[str, List[tuple]] = {}
+            for table, rows in updates:
+                relation = self.bindings.relation_for_ovsdb.get(table)
+                if relation is None:
+                    continue
+                for uuid, update in rows.items():
+                    if update.kind == "insert":
+                        inserts.setdefault(relation, []).append(
+                            self._row_to_dlog(table, uuid, update.new)
+                        )
+                    elif update.kind == "delete":
+                        deletes.setdefault(relation, []).append(
+                            self._row_to_dlog(table, uuid, update.old)
+                        )
+                    else:  # modify: old carries only the changed columns
+                        old_full = dict(update.new)
+                        old_full.update(update.old)
+                        deletes.setdefault(relation, []).append(
+                            self._row_to_dlog(table, uuid, old_full)
+                        )
+                        inserts.setdefault(relation, []).append(
+                            self._row_to_dlog(table, uuid, update.new)
+                        )
+            if not inserts and not deletes:
+                return
+            result = self.runtime.transaction(inserts=inserts, deletes=deletes)
+            self._push_outputs(result)
+            self.sync_count += 1
+            self.sync_latencies.append(time.perf_counter() - started)
+            self.last_result = result
+
+    def _row_to_dlog(self, table: str, uuid: str, row: dict) -> tuple:
+        values = [uuid]
+        for column in self._columns[table]:
+            values.append(ovsdb_value_to_dlog(column.type, row[column.name]))
+        return tuple(values)
+
+    # -- data-plane feedback -----------------------------------------------------------
+
+    def _on_digest(self, name: str, values: Tuple[int, ...]) -> None:
+        relation = self.bindings.digest_relations.get(name)
+        if relation is None:
+            return
+        with self._lock:
+            started = time.perf_counter()
+            result = self.runtime.transaction(
+                inserts={relation: [tuple(values)]}
+            )
+            self.digests_processed += 1
+            if result.deltas:
+                self._push_outputs(result)
+                self.sync_count += 1
+                self.sync_latencies.append(time.perf_counter() - started)
+                self.last_result = result
+
+    # -- output propagation --------------------------------------------------------------
+
+    def _push_outputs(self, result) -> None:
+        writes: List[TableWrite] = []
+        for relation, delta in result.deltas.items():
+            binding = self.bindings.table_relations.get(relation)
+            if binding is not None:
+                writes.extend(self._delta_to_writes(binding, delta))
+            elif relation == MULTICAST_RELATION:
+                self._apply_multicast(delta)
+        if not writes:
+            return
+        # Deletes first so a changed entry (delete+insert with the same
+        # match key) never collides.
+        writes.sort(key=lambda w: 0 if w.kind == "DELETE" else 1)
+        if self._buffer_writes is not None:
+            self._buffer_writes.extend(writes)
+            return
+        for device in self.devices:
+            device.write(writes)
+        self.entries_written += len(writes)
+
+    def _delta_to_writes(self, binding: TableBinding, delta: ZSet) -> List[TableWrite]:
+        writes = []
+        for row, weight in delta.items():
+            entry = self._row_to_entry(binding, row)
+            if weight > 0:
+                writes.append(TableWrite.insert(binding.info.name, entry))
+            else:
+                writes.append(TableWrite.delete(binding.info.name, entry))
+        return writes
+
+    def _row_to_entry(self, binding: TableBinding, row: tuple) -> TableEntry:
+        n_keys = len(binding.key_columns)
+        matches = [
+            dlog_value_to_match(field, value)
+            for (_, field), value in zip(binding.key_columns, row[:n_keys])
+        ]
+        action_value = row[n_keys]
+        if not isinstance(action_value, StructValue):
+            raise TypeCheckError(
+                f"{binding.relation}: action column must be a constructor "
+                f"of {binding.info.name}'s action union, got {action_value!r}"
+            )
+        resolved = binding.actions_by_constructor.get(action_value.constructor)
+        if resolved is None:
+            raise TypeCheckError(
+                f"{binding.relation}: {action_value.constructor} is not an "
+                f"action of table {binding.info.name}"
+            )
+        action_name, param_count = resolved
+        if len(action_value.fields) != param_count:
+            raise TypeCheckError(
+                f"{binding.relation}: action {action_name} expects "
+                f"{param_count} parameter(s)"
+            )
+        priority = row[n_keys + 1] if binding.has_priority else 0
+        return TableEntry(
+            matches, action_name, list(action_value.fields), priority
+        )
+
+    def _apply_multicast(self, delta: ZSet) -> None:
+        changed = set()
+        for row, weight in delta.items():
+            group, port = int(row[0]), int(row[1])
+            members = self._mcast_members.setdefault(group, set())
+            if weight > 0:
+                members.add(port)
+            else:
+                members.discard(port)
+            changed.add(group)
+        for group in sorted(changed):
+            members = self._mcast_members.get(group, set())
+            for device in self.devices:
+                if members:
+                    device.set_multicast_group(group, sorted(members))
+                else:
+                    device.delete_multicast_group(group)
+            if not members:
+                self._mcast_members.pop(group, None)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, object]:
+        latencies = self.sync_latencies
+        return {
+            "syncs": self.sync_count,
+            "entries_written": self.entries_written,
+            "digests_processed": self.digests_processed,
+            "mean_sync_latency": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "last_sync_latency": latencies[-1] if latencies else 0.0,
+        }

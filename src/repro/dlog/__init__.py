@@ -1,0 +1,44 @@
+"""An incremental Datalog engine — the control plane of the stack.
+
+This package is the reproduction's analog of Differential Datalog
+(DDlog), the language the paper uses to program the SDN control plane.
+It provides:
+
+* a typed Datalog dialect with structs/unions, vectors, maps, a
+  procedural expression language, negation, grouping/aggregation, and
+  (stratified) recursion — see :mod:`repro.dlog.parser`;
+* **automatic incrementality**: a compiled :class:`~repro.dlog.engine.Program`
+  accepts *transactions* of input-relation deltas (inserts/deletes) and
+  emits only the corresponding deltas of the output relations, doing
+  work proportional to the change, not to the database
+  (:mod:`repro.dlog.engine`).
+
+Typical use::
+
+    from repro.dlog import compile_program
+
+    prog = compile_program('''
+        input relation Edge(src: bit<32>, dst: bit<32>)
+        input relation GivenLabel(node: bit<32>, label: string)
+        output relation Label(node: bit<32>, label: string)
+
+        Label(n, l) :- GivenLabel(n, l).
+        Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+    ''')
+    rt = prog.start()
+    out = rt.transaction(inserts={"Edge": [(1, 2)], "GivenLabel": [(1, "a")]})
+    # out["Label"] == {(1, "a"): +1, (2, "a"): +1}
+"""
+
+from repro.dlog.ast import Program as ProgramAst
+from repro.dlog.engine import CompiledProgram, Runtime, TxnResult, compile_program
+from repro.dlog.parser import parse_program
+
+__all__ = [
+    "CompiledProgram",
+    "ProgramAst",
+    "Runtime",
+    "TxnResult",
+    "compile_program",
+    "parse_program",
+]

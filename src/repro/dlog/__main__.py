@@ -1,0 +1,120 @@
+"""Interactive shell for the incremental engine.
+
+Usage::
+
+    python -m repro.dlog PROGRAM.dl
+
+Commands::
+
+    + Rel (v1, v2, ...)      insert a row (Python literal syntax)
+    - Rel (v1, v2, ...)      delete a row
+    dump [Rel]               show relation contents (all outputs if bare)
+    explain                  show the compiled plan
+    profile                  engine statistics
+    help                     this text
+    quit                     exit
+
+Each ``+``/``-`` line is one transaction; the emitted output deltas are
+printed immediately, which makes the engine's incrementality tangible:
+only what *changed* is printed.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import sys
+
+from repro.dlog.engine import compile_program
+from repro.errors import ReproError
+
+USAGE = __doc__
+
+
+def _parse_row(text: str):
+    value = pyast.literal_eval(text.strip())
+    if not isinstance(value, tuple):
+        value = (value,)
+    return value
+
+
+def _print_deltas(result) -> None:
+    if not result.deltas:
+        print("  (no derived changes)")
+        return
+    for rel in sorted(result.deltas):
+        for row, weight in sorted(
+            result.deltas[rel].items(), key=lambda kv: repr(kv[0])
+        ):
+            sign = "+" if weight > 0 else "-"
+            print(f"  {sign} {rel}{row}")
+    for warning in result.warnings:
+        print(f"  ! {warning}")
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print(USAGE)
+        return 2
+    try:
+        with open(argv[0], encoding="utf-8") as f:
+            source = f.read()
+        program = compile_program(source, source=argv[0])
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    runtime = program.start()
+    print(
+        f"loaded {argv[0]}: inputs {', '.join(program.input_relations)}; "
+        f"outputs {', '.join(program.output_relations)}"
+    )
+    if runtime.initial_result.deltas:
+        print("initial facts:")
+        _print_deltas(runtime.initial_result)
+
+    while True:
+        try:
+            line = input("dlog> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            continue
+        try:
+            if line in ("quit", "exit"):
+                return 0
+            if line == "help":
+                print(USAGE)
+            elif line == "explain":
+                print(program.explain())
+            elif line == "profile":
+                for key, value in runtime.profile().items():
+                    print(f"  {key}: {value}")
+            elif line == "dump":
+                for rel in program.output_relations:
+                    for row in sorted(runtime.dump(rel), key=repr):
+                        print(f"  {rel}{row}")
+            elif line.startswith("dump "):
+                rel = line[5:].strip()
+                for row in sorted(runtime.dump(rel), key=repr):
+                    print(f"  {rel}{row}")
+            elif line[0] in "+-":
+                parts = line[1:].strip().split(None, 1)
+                if len(parts) != 2:
+                    print("usage: + Rel (v1, v2, ...)")
+                    continue
+                rel, row_text = parts
+                row = _parse_row(row_text)
+                if line[0] == "+":
+                    result = runtime.transaction(inserts={rel: [row]})
+                else:
+                    result = runtime.transaction(deletes={rel: [row]})
+                _print_deltas(result)
+            else:
+                print(f"unknown command {line!r}; try 'help'")
+        except (ReproError, ValueError, SyntaxError, KeyError) as exc:
+            print(f"error: {exc}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

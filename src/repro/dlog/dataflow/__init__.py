@@ -1,0 +1,16 @@
+"""Delta-dataflow machinery behind the incremental engine.
+
+Non-recursive rules compile to chains of the operators in
+:mod:`repro.dlog.dataflow.operators`, exchanging weighted multiset
+deltas (:class:`~repro.dlog.dataflow.zset.ZSet`).  Stateful operators
+(join, antijoin, distinct, aggregate) maintain *arrangements* — indexed
+copies of their inputs — so each transaction does work proportional to
+the delta, which is the scalability property the paper claims for the
+control plane.
+"""
+
+from repro.dlog.dataflow.zset import ZSet
+from repro.dlog.dataflow.arrangement import Arrangement
+from repro.dlog.dataflow.graph import Graph
+
+__all__ = ["Arrangement", "Graph", "ZSet"]

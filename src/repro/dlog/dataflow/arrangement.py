@@ -1,0 +1,66 @@
+"""Arrangements: key-indexed operator state.
+
+An arrangement is a Z-set organized as ``key -> {record -> weight}``.
+Stateful operators keep their inputs arranged by join key so that a
+delta on one side only touches the matching keys of the other —
+the core mechanism that makes join/antijoin/aggregate incremental.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.dlog.dataflow.zset import ZSet
+
+_EMPTY: Dict[object, int] = {}
+
+
+class Arrangement:
+    """``key -> {record -> weight}`` with eager zero-entry removal."""
+
+    __slots__ = ("data",)
+
+    def __init__(self):
+        self.data: Dict[object, Dict[object, int]] = {}
+
+    def add(self, key, record, weight: int) -> None:
+        if weight == 0:
+            return
+        group = self.data.get(key)
+        if group is None:
+            group = {}
+            self.data[key] = group
+        new = group.get(record, 0) + weight
+        if new == 0:
+            del group[record]
+            if not group:
+                del self.data[key]
+        else:
+            group[record] = new
+
+    def update(self, delta: ZSet, key_fn) -> None:
+        """Apply a keyed delta: each record is indexed under ``key_fn(record)``."""
+        for record, weight in delta.items():
+            self.add(key_fn(record), record, weight)
+
+    def group(self, key) -> Dict[object, int]:
+        """The records under ``key`` (empty mapping if none). Do not mutate."""
+        return self.data.get(key, _EMPTY)
+
+    def has_key(self, key) -> bool:
+        return key in self.data
+
+    def keys(self) -> Iterator[object]:
+        return iter(self.data.keys())
+
+    def items(self) -> Iterator[Tuple[object, Dict[object, int]]]:
+        return iter(self.data.items())
+
+    def total_records(self) -> int:
+        return sum(len(g) for g in self.data.values())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Arrangement({len(self.data)} keys, {self.total_records()} records)"

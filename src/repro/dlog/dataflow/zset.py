@@ -1,0 +1,115 @@
+"""Weighted multisets (Z-sets) — the currency of the incremental engine.
+
+A Z-set maps records to integer weights.  A relation's *state* is a
+Z-set with positive weights; a *delta* may carry negative weights
+(deletions).  Operators consume and produce deltas; applying a delta to
+a state is just :meth:`ZSet.merge`.
+
+This mirrors the Z-set formalism of DBSP/Differential Datalog (the
+paper's reference [11]): linear operators distribute over deltas, and
+the nonlinear ones (distinct, join, aggregate) get explicit incremental
+implementations in :mod:`repro.dlog.dataflow.operators`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+
+class ZSet:
+    """A mapping from hashable records to non-zero integer weights.
+
+    Entries with weight zero are removed eagerly, so ``len`` counts
+    records with support and equality is semantic equality.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Dict[object, int] = None):
+        self.data: Dict[object, int] = data if data is not None else {}
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[object], weight: int = 1) -> "ZSet":
+        out = cls()
+        for row in rows:
+            out.add(row, weight)
+        return out
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, record, weight: int = 1) -> None:
+        """Add ``weight`` to ``record``'s weight, dropping zero entries."""
+        if weight == 0:
+            return
+        data = self.data
+        new = data.get(record, 0) + weight
+        if new == 0:
+            del data[record]
+        else:
+            data[record] = new
+
+    def merge(self, other: "ZSet") -> None:
+        """In-place ``self += other``."""
+        for record, weight in other.data.items():
+            self.add(record, weight)
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    # -- queries ------------------------------------------------------------
+
+    def weight(self, record) -> int:
+        return self.data.get(record, 0)
+
+    def __contains__(self, record) -> bool:
+        return record in self.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def items(self) -> Iterator[Tuple[object, int]]:
+        return iter(self.data.items())
+
+    def records(self) -> Iterator[object]:
+        return iter(self.data.keys())
+
+    def is_set(self) -> bool:
+        """True if every weight is exactly +1."""
+        return all(w == 1 for w in self.data.values())
+
+    # -- algebra --------------------------------------------------------------
+
+    def copy(self) -> "ZSet":
+        return ZSet(dict(self.data))
+
+    def negated(self) -> "ZSet":
+        return ZSet({r: -w for r, w in self.data.items()})
+
+    def added(self, other: "ZSet") -> "ZSet":
+        out = self.copy()
+        out.merge(other)
+        return out
+
+    def scaled(self, factor: int) -> "ZSet":
+        if factor == 0:
+            return ZSet()
+        return ZSet({r: w * factor for r, w in self.data.items()})
+
+    def positive_part(self) -> "ZSet":
+        """Records with positive weight, at weight 1 (set semantics)."""
+        return ZSet({r: 1 for r, w in self.data.items() if w > 0})
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ZSet) and self.data == other.data
+
+    def __hash__(self):  # pragma: no cover - ZSets are not hashable
+        raise TypeError("ZSet is unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r!r}: {w:+d}" for r, w in sorted(
+            self.data.items(), key=lambda kv: repr(kv[0])
+        ))
+        return f"ZSet({{{inner}}})"

@@ -1,0 +1,476 @@
+"""The incremental Datalog engine: compilation and transactions.
+
+``compile_program`` turns source text into a :class:`CompiledProgram`:
+parse → typecheck → stratify → plan.  ``CompiledProgram.start()``
+creates a :class:`Runtime` whose :meth:`~Runtime.transaction` applies a
+batch of input inserts/deletes and returns only the resulting *changes*
+of every derived relation — the paper's key control-plane property.
+
+Architecture
+------------
+
+One dataflow graph covers the whole program:
+
+* every relation has a node — input relations a pass-through source,
+  non-recursive derived relations a Distinct (set semantics over the
+  union of their rules), recursive relations a pass-through fed by
+  their SCC's evaluator node;
+* every non-recursive rule is a chain of operators from
+  :mod:`repro.dlog.plan`;
+* every recursive SCC is a single :class:`~repro.dlog.recursive.SccNode`
+  (DRed); its *base rules* (no recursion in the body) are planned as
+  ordinary dataflow feeding a synthetic ``__base_<rel>`` relation that
+  enters the SCC like any other external input.
+
+Facts (rules with no body atoms) are evaluated at compile time and
+injected as an initial transaction by :meth:`CompiledProgram.start`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dlog import ast as A
+from repro.dlog import types as T
+from repro.dlog.dataflow.graph import Graph
+from repro.dlog.dataflow.operators import DistinctNode, Node, SourceNode
+from repro.dlog.dataflow.zset import ZSet
+from repro.dlog.interp import Evaluator
+from repro.dlog.parser import parse_program
+from repro.dlog.plan import Planner
+from repro.dlog.recursive import SccEvaluator, SccNode
+from repro.dlog.stratify import Stratification, stratify
+from repro.dlog.typecheck import CheckedProgram, check_program
+from repro.dlog.values import MapValue, StructValue
+from repro.errors import TransactionError
+
+BASE_PREFIX = "__base_"
+
+
+def _is_recursive_rule(rule: A.Rule, members: Set[str]) -> bool:
+    for item in rule.body:
+        if isinstance(item, A.AtomItem) and item.atom.relation in members:
+            return True
+    return False
+
+
+def _make_base_rule(member: str, arity: int) -> A.Rule:
+    """Synthesize ``Member(a0..an) :- __base_Member(a0..an).``"""
+    args = [A.PVar(f"__a{i}") for i in range(arity)]
+    head = A.Atom(member, args)
+    body = [A.AtomItem(A.Atom(BASE_PREFIX + member, [A.PVar(f"__a{i}") for i in range(arity)]))]
+    rule = A.Rule(head, body, name=f"{member}:base")
+    return rule
+
+
+class CompiledProgram:
+    """A compiled program; create runtimes with :meth:`start`."""
+
+    def __init__(self, checked: CheckedProgram, recursive_mode: str = "dred"):
+        self.checked = checked
+        self.recursive_mode = recursive_mode
+        self.evaluator = Evaluator(checked)
+        self.planner = Planner(checked, self.evaluator)
+        self.stratification: Stratification = stratify(
+            [r.name for r in checked.ast.relations], checked.ast.rules
+        )
+        self.input_relations: List[str] = [
+            r.name for r in checked.ast.relations if r.role == "input"
+        ]
+        self.output_relations: List[str] = [
+            r.name for r in checked.ast.relations if r.role == "output"
+        ]
+
+    def start(self) -> "Runtime":
+        return Runtime(self)
+
+    def relation_decl(self, name: str) -> A.RelationDecl:
+        return self.checked.relation(name)
+
+    def explain(self) -> str:
+        """Human-readable description of the compiled evaluation plan:
+        strata in execution order, which are recursive, and the rules
+        deriving each relation."""
+        strat = self.stratification
+        rules_by_head: Dict[str, List[A.Rule]] = {}
+        for rule in self.checked.ast.rules:
+            rules_by_head.setdefault(rule.head.relation, []).append(rule)
+        lines = []
+        for idx, scc in enumerate(strat.order):
+            kind = "recursive (DRed)" if strat.recursive[idx] else "dataflow"
+            lines.append(f"stratum {idx} [{kind}]: {', '.join(scc)}")
+            for rel in scc:
+                decl = self.checked.relations.get(rel)
+                role = decl.role if decl else "?"
+                n_rules = len(rules_by_head.get(rel, ()))
+                lines.append(f"  {rel} ({role}, {n_rules} rule(s))")
+                for rule in rules_by_head.get(rel, ()):
+                    body = []
+                    for item in rule.body:
+                        if isinstance(item, A.AtomItem):
+                            body.append(item.atom.relation)
+                        elif isinstance(item, A.NegAtom):
+                            body.append(f"not {item.atom.relation}")
+                        elif isinstance(item, A.AggregateItem):
+                            body.append(f"aggregate({item.func})")
+                        elif isinstance(item, A.FlatMapItem):
+                            body.append("flatmap")
+                        elif isinstance(item, A.Guard):
+                            body.append("guard")
+                        elif isinstance(item, A.Assignment):
+                            body.append("assign")
+                    lines.append(
+                        f"    :- {', '.join(body) if body else '<fact>'}"
+                    )
+        return "\n".join(lines)
+
+
+def compile_program(
+    text: str, source: str = "<input>", recursive_mode: str = "dred"
+) -> CompiledProgram:
+    """Parse, typecheck, stratify, and plan a program.
+
+    ``recursive_mode`` selects how recursive SCCs handle deletions:
+    ``"dred"`` (default, incremental delete–rederive) or ``"recompute"``
+    (full fixpoint per transaction; kept as an ablation baseline).
+    """
+    ast = parse_program(text, source)
+    checked = check_program(ast)
+    return CompiledProgram(checked, recursive_mode)
+
+
+class TxnResult:
+    """Outcome of one transaction.
+
+    ``deltas`` maps every derived relation touched by the transaction to
+    its change Z-set (+1 inserted row, -1 deleted row); relations whose
+    contents did not change are absent.  ``outputs`` restricts that to
+    ``output relation`` declarations.  ``warnings`` records ignored
+    duplicate inserts / missing deletes.
+    """
+
+    def __init__(
+        self,
+        deltas: Dict[str, ZSet],
+        output_names: Sequence[str],
+        warnings: List[str],
+        duration: float,
+    ):
+        self.deltas = deltas
+        self._output_names = set(output_names)
+        self.warnings = warnings
+        self.duration = duration
+
+    @property
+    def outputs(self) -> Dict[str, ZSet]:
+        return {
+            name: delta
+            for name, delta in self.deltas.items()
+            if name in self._output_names
+        }
+
+    def inserted(self, relation: str) -> List[tuple]:
+        delta = self.deltas.get(relation)
+        if delta is None:
+            return []
+        return [row for row, w in delta.items() if w > 0]
+
+    def deleted(self, relation: str) -> List[tuple]:
+        delta = self.deltas.get(relation)
+        if delta is None:
+            return []
+        return [row for row, w in delta.items() if w < 0]
+
+    def __repr__(self):
+        changed = ", ".join(sorted(self.deltas))
+        return f"TxnResult(changed=[{changed}], warnings={len(self.warnings)})"
+
+
+class Runtime:
+    """A running instance of a compiled program."""
+
+    def __init__(self, program: CompiledProgram):
+        self.program = program
+        self.checked = program.checked
+        self.graph = Graph()
+        self.relation_nodes: Dict[str, Node] = {}
+        self.scc_evaluators: Dict[int, SccEvaluator] = {}
+        self._input_state: Dict[str, Set[tuple]] = {
+            name: set() for name in program.input_relations
+        }
+        self._validators = {
+            rel.name: _row_validator(rel, self.checked.tenv)
+            for rel in self.checked.ast.relations
+        }
+        self._static_rows: Dict[str, List[tuple]] = {}
+        self._deferred_exits: List[Tuple[str, List[Node]]] = []
+        self.txn_count = 0
+        self.total_txn_time = 0.0
+        self._build()
+        self.initial_result = self._apply({}, initial=True)
+
+    # -- construction -------------------------------------------------------------
+
+    def _build(self) -> None:
+        checked = self.checked
+        strat = self.program.stratification
+        graph = self.graph
+
+        # Relation nodes.
+        recursive_members: Set[str] = set()
+        for scc_idx, scc in enumerate(strat.order):
+            if strat.recursive[scc_idx]:
+                recursive_members.update(scc)
+        for rel in checked.ast.relations:
+            if rel.role == "input":
+                node: Node = SourceNode(name=f"input({rel.name})")
+            elif rel.name in recursive_members:
+                node = SourceNode(name=f"recursive({rel.name})")
+            else:
+                node = DistinctNode(name=f"relation({rel.name})")
+            self.relation_nodes[rel.name] = graph.add(node)
+
+        # Partition rules: non-recursive ones are planned as dataflow;
+        # recursive SCC rules go to their SCC evaluator, with their base
+        # rules planned as dataflow into a synthetic base relation.
+        scc_rules: Dict[int, List[A.Rule]] = {}
+        base_needed: Dict[str, A.RelationDecl] = {}
+        for rule in checked.ast.rules:
+            head = rule.head.relation
+            scc_idx = strat.scc_of[head]
+            if not strat.recursive[scc_idx]:
+                self._plan_into(rule, head)
+                continue
+            members = set(strat.order[scc_idx])
+            if _is_recursive_rule(rule, members):
+                scc_rules.setdefault(scc_idx, []).append(rule)
+            else:
+                base_name = BASE_PREFIX + head
+                decl = checked.relations[head]
+                base_needed.setdefault(
+                    base_name,
+                    A.RelationDecl(base_name, list(decl.columns), "internal"),
+                )
+                self._plan_into(rule, base_name)
+
+        # Base relation nodes (Distinct over the base rules' outputs).
+        for base_name, decl in base_needed.items():
+            node = DistinctNode(name=f"relation({base_name})")
+            self.relation_nodes[base_name] = graph.add(node)
+            checked.relations.setdefault(base_name, decl)
+
+        # Re-wire planned chains that targeted base relations before the
+        # node existed (handled inside _plan_into via deferred list).
+        for base_name, exits in self._deferred_exits:
+            for exit_node in exits:
+                exit_node.connect_to(self.relation_nodes[base_name], 0)
+
+        # SCC evaluator nodes.
+        for scc_idx, rules in sorted(scc_rules.items()):
+            members = list(strat.order[scc_idx])
+            synthetic: List[A.Rule] = []
+            for member in members:
+                base_name = BASE_PREFIX + member
+                if base_name in self.relation_nodes:
+                    rule = _make_base_rule(
+                        member, checked.relations[member].arity
+                    )
+                    checked.head_exprs[id(rule)] = [
+                        A.Var(f"__a{i}")
+                        for i in range(checked.relations[member].arity)
+                    ]
+                    synthetic.append(rule)
+            evaluator = SccEvaluator(
+                members,
+                rules + synthetic,
+                checked,
+                self.program.evaluator,
+                mode=self.program.recursive_mode,
+            )
+            self.scc_evaluators[scc_idx] = evaluator
+            scc_node = SccNode(evaluator)
+            graph.add(scc_node)
+            for port, ext in enumerate(scc_node.externals):
+                self.relation_nodes[ext].connect_to(scc_node, port)
+            for member in members:
+                scc_node.connect_to(
+                    self.relation_nodes[member], 0, out_key=member
+                )
+
+    def _plan_into(self, rule: A.Rule, target_relation: str) -> None:
+        chain = self.program.planner.plan_rule(rule)
+        if chain.static_rows is not None:
+            self._static_rows.setdefault(target_relation, []).extend(
+                chain.static_rows
+            )
+            return
+        for node in chain.nodes:
+            self.graph.add(node)
+        entry_rel, entry_node = chain.entry
+        self.relation_nodes[entry_rel].connect_to(entry_node, 0)
+        for rel, node, port in chain.taps:
+            self.relation_nodes[rel].connect_to(node, port)
+        target = self.relation_nodes.get(target_relation)
+        if target is None:
+            self._deferred_exits.append((target_relation, [chain.exit]))
+        else:
+            chain.exit.connect_to(target, 0)
+
+    # -- transactions -----------------------------------------------------------------
+
+    def transaction(
+        self,
+        inserts: Optional[Mapping[str, Iterable[Sequence]]] = None,
+        deletes: Optional[Mapping[str, Iterable[Sequence]]] = None,
+    ) -> TxnResult:
+        """Apply input changes; return the deltas of all derived relations.
+
+        Duplicate inserts and deletes of absent rows are ignored with a
+        warning (input relations are sets).  Rows are validated against
+        the relation's declared column types.
+        """
+        return self._apply(
+            {"inserts": inserts or {}, "deletes": deletes or {}}
+        )
+
+    def _apply(self, changes, initial: bool = False) -> TxnResult:
+        started = time.perf_counter()
+        warnings: List[str] = []
+        source_deltas: Dict[int, ZSet] = {}
+
+        if initial:
+            for rel_name, rows in self._static_rows.items():
+                delta = ZSet()
+                for row in rows:
+                    delta.add(row, 1)
+                node = self.relation_nodes[rel_name]
+                source_deltas.setdefault(id(node), ZSet()).merge(delta)
+        else:
+            inserts = changes["inserts"]
+            deletes = changes["deletes"]
+            for rel_name in set(inserts) | set(deletes):
+                if rel_name not in self._input_state:
+                    raise TransactionError(
+                        f"{rel_name} is not an input relation"
+                    )
+            for rel_name, rows in deletes.items():
+                delta = self._normalize(
+                    rel_name, rows, insert=False, warnings=warnings
+                )
+                if delta:
+                    node = self.relation_nodes[rel_name]
+                    source_deltas.setdefault(id(node), ZSet()).merge(delta)
+            for rel_name, rows in inserts.items():
+                delta = self._normalize(
+                    rel_name, rows, insert=True, warnings=warnings
+                )
+                if delta:
+                    node = self.relation_nodes[rel_name]
+                    source_deltas.setdefault(id(node), ZSet()).merge(delta)
+
+        outputs = self.graph.run(source_deltas)
+
+        deltas: Dict[str, ZSet] = {}
+        for rel_name, node in self.relation_nodes.items():
+            if rel_name.startswith(BASE_PREFIX):
+                continue
+            out = outputs.get(id(node))
+            if isinstance(out, ZSet) and out:
+                deltas[rel_name] = out
+
+        duration = time.perf_counter() - started
+        self.txn_count += 1
+        self.total_txn_time += duration
+        return TxnResult(deltas, self.program.output_relations, warnings, duration)
+
+    def _normalize(
+        self, rel_name: str, rows, insert: bool, warnings: List[str]
+    ) -> ZSet:
+        state = self._input_state[rel_name]
+        validate = self._validators[rel_name]
+        delta = ZSet()
+        for raw in rows:
+            row = tuple(raw) if not isinstance(raw, tuple) else raw
+            validate(row)
+            if insert:
+                if row in state or delta.weight(row) > 0:
+                    warnings.append(f"{rel_name}: duplicate insert {row!r}")
+                    continue
+                state.add(row)
+                delta.add(row, 1)
+            else:
+                if row not in state:
+                    warnings.append(f"{rel_name}: delete of absent row {row!r}")
+                    continue
+                state.discard(row)
+                delta.add(row, -1)
+        return delta
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def dump(self, relation: str) -> Set[tuple]:
+        """Current contents of any relation (input or derived)."""
+        if relation in self._input_state:
+            return set(self._input_state[relation])
+        strat = self.program.stratification
+        scc_idx = strat.scc_of.get(relation)
+        if scc_idx is not None and strat.recursive[scc_idx]:
+            return self.scc_evaluators[scc_idx].extent(relation)
+        node = self.relation_nodes.get(relation)
+        if isinstance(node, DistinctNode):
+            return set(node.positive_records())
+        raise KeyError(f"unknown relation {relation!r}")
+
+    def state_size(self) -> int:
+        """Total records held by all stateful operators (memory proxy)."""
+        return self.graph.total_state() + sum(
+            len(s) for s in self._input_state.values()
+        )
+
+    def profile(self) -> Dict[str, object]:
+        return {
+            "transactions": self.txn_count,
+            "total_txn_time": self.total_txn_time,
+            "state_records": self.state_size(),
+            "graph_nodes": len(self.graph.nodes),
+        }
+
+
+def _row_validator(decl: A.RelationDecl, tenv: T.TypeEnv):
+    """Build a shallow row validator for one relation."""
+    col_types = decl.column_types()
+    arity = decl.arity
+    name = decl.name
+
+    def validate(row: tuple) -> None:
+        if len(row) != arity:
+            raise TransactionError(
+                f"{name}: row {row!r} has {len(row)} column(s), expected {arity}"
+            )
+        for i, (value, ty) in enumerate(zip(row, col_types)):
+            if not _shallow_check(value, ty):
+                raise TransactionError(
+                    f"{name}: column {decl.columns[i][0]} expects {ty}, "
+                    f"got {value!r}"
+                )
+
+    return validate
+
+
+def _shallow_check(value, ty: T.Type) -> bool:
+    if isinstance(ty, T.TBool):
+        return isinstance(value, bool)
+    if isinstance(ty, (T.TBit, T.TSigned, T.TBigInt)):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if isinstance(ty, T.TFloat):
+        return isinstance(value, float)
+    if isinstance(ty, T.TString):
+        return isinstance(value, str)
+    if isinstance(ty, (T.TTuple, T.TVec)):
+        return isinstance(value, tuple)
+    if isinstance(ty, T.TMap):
+        return isinstance(value, MapValue)
+    if isinstance(ty, T.TUser):
+        return isinstance(value, StructValue)
+    return True

@@ -1,0 +1,298 @@
+"""Expression evaluation for the control-plane language.
+
+The :class:`Evaluator` executes typechecked expressions.  It consults
+the checker's node-type table so fixed-width arithmetic wraps exactly
+like the declared type says (``bit<8>`` addition wraps at 256, signed
+types wrap two's-complement), which matters when control-plane rules
+compute values destined for P4 table entries of a fixed width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dlog import ast as A
+from repro.dlog import types as T
+from repro.dlog import values as V
+from repro.dlog.stdlib import BUILTINS
+from repro.dlog.typecheck import CheckedProgram
+from repro.errors import EvalError
+
+_MAX_CALL_DEPTH = 200
+
+
+def _int_div(a: int, b: int) -> int:
+    """C-style division truncating toward zero (DDlog semantics)."""
+    if b == 0:
+        raise EvalError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("modulo by zero")
+    return a - _int_div(a, b) * b
+
+
+class Evaluator:
+    """Evaluates expressions of one :class:`CheckedProgram`."""
+
+    def __init__(self, checked: CheckedProgram):
+        self.checked = checked
+        self.tenv = checked.tenv
+        self._ctor_index_cache: Dict[str, Dict[str, int]] = {}
+        self._depth = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def eval(self, expr: A.Expr, env: Dict[str, object]) -> object:
+        method = self._DISPATCH[type(expr)]
+        return method(self, expr, env)
+
+    def match(
+        self,
+        pat: A.Pattern,
+        value: object,
+        env: Dict[str, object],
+        bind_always: bool = True,
+    ) -> bool:
+        """Match ``value`` against ``pat``; on success, bind its variables.
+
+        ``bind_always=True`` (match arms) always (re)binds variables;
+        ``bind_always=False`` (atom arguments) treats an already-bound
+        variable as an equality constraint.
+
+        On failure ``env`` may contain partial bindings; callers pass a
+        scratch copy.
+        """
+        if isinstance(pat, A.PWildcard):
+            return True
+        if isinstance(pat, A.PVar):
+            if not bind_always and pat.name in env:
+                return env[pat.name] == value
+            env[pat.name] = value
+            return True
+        if isinstance(pat, A.PLit):
+            return value == pat.value
+        if isinstance(pat, A.PTuple):
+            if not isinstance(value, tuple) or len(value) != len(pat.elems):
+                return False
+            return all(
+                self.match(p, v, env, bind_always)
+                for p, v in zip(pat.elems, value)
+            )
+        if isinstance(pat, A.PStruct):
+            if (
+                not isinstance(value, V.StructValue)
+                or value.constructor != pat.ctor
+            ):
+                return False
+            return all(
+                self.match(p, v, env, bind_always)
+                for (_, p), v in zip(pat.fields, value.fields)
+            )
+        if isinstance(pat, A.PExpr):
+            return value == self.eval(pat.expr, env)
+        raise EvalError(f"unsupported pattern {pat!r}")  # pragma: no cover
+
+    def call(self, name: str, args: List[object]) -> object:
+        """Call a user function or builtin with already-evaluated args."""
+        fn = self.checked.functions.get(name)
+        if fn is not None:
+            if self._depth >= _MAX_CALL_DEPTH:
+                raise EvalError(f"call depth exceeded in function {name}")
+            env = {p: a for (p, _), a in zip(fn.params, args)}
+            self._depth += 1
+            try:
+                result = self.eval(fn.body, env)
+            finally:
+                self._depth -= 1
+            return self._coerce(result, fn.return_type)
+        builtin = BUILTINS.get(name)
+        if builtin is None:
+            raise EvalError(f"unknown function {name!r}")
+        try:
+            return builtin.fn(*args)
+        except EvalError:
+            raise
+        except Exception as exc:
+            raise EvalError(f"{name}(): {exc}") from exc
+
+    # -- helpers --------------------------------------------------------------
+
+    def _result_type(self, expr: A.Expr) -> Optional[T.Type]:
+        return self.checked.node_types.get(id(expr))
+
+    def _coerce(self, value: object, ty: Optional[T.Type]) -> object:
+        if isinstance(ty, T.TBit) and isinstance(value, int):
+            return V.wrap_bit(value, ty.width)
+        if isinstance(ty, T.TSigned) and isinstance(value, int):
+            return V.wrap_signed(value, ty.width)
+        return value
+
+    def _field_index(self, ctor_name: str, field_name: str) -> int:
+        cache = self._ctor_index_cache.get(ctor_name)
+        if cache is None:
+            tdef = self.tenv.owner_of_constructor(ctor_name)
+            if tdef is None:
+                raise EvalError(f"unknown constructor {ctor_name!r}")
+            ctor = tdef.constructor(ctor_name)
+            cache = {f.name: i for i, f in enumerate(ctor.fields)}
+            self._ctor_index_cache[ctor_name] = cache
+        try:
+            return cache[field_name]
+        except KeyError:
+            raise EvalError(
+                f"constructor {ctor_name} has no field {field_name!r}"
+            ) from None
+
+    # -- node evaluators ---------------------------------------------------------
+
+    def _eval_lit(self, expr: A.Lit, env):
+        return expr.value
+
+    def _eval_var(self, expr: A.Var, env):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvalError(f"unbound variable {expr.name}") from None
+
+    def _eval_binop(self, expr: A.BinOp, env):
+        op = expr.op
+        if op == "and":
+            return bool(self.eval(expr.left, env)) and bool(
+                self.eval(expr.right, env)
+            )
+        if op == "or":
+            return bool(self.eval(expr.left, env)) or bool(
+                self.eval(expr.right, env)
+            )
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "++":
+            return left + right
+        if op == "+":
+            result = left + right
+        elif op == "-":
+            result = left - right
+        elif op == "*":
+            result = left * right
+        elif op == "/":
+            if isinstance(left, float):
+                if right == 0.0:
+                    raise EvalError("division by zero")
+                result = left / right
+            else:
+                result = _int_div(left, right)
+        elif op == "%":
+            result = _int_mod(left, right)
+        elif op == "&":
+            result = left & right
+        elif op == "|":
+            result = left | right
+        elif op == "^":
+            result = left ^ right
+        elif op == "<<":
+            result = left << right
+        elif op == ">>":
+            result = left >> right
+        else:  # pragma: no cover
+            raise EvalError(f"unknown operator {op}")
+        return self._coerce(result, self._result_type(expr))
+
+    def _eval_unary(self, expr: A.UnaryOp, env):
+        value = self.eval(expr.operand, env)
+        if expr.op == "not":
+            return not value
+        if expr.op == "-":
+            return self._coerce(-value, self._result_type(expr))
+        if expr.op == "~":
+            ty = self._result_type(expr)
+            if isinstance(ty, T.TBit):
+                return V.wrap_bit(~value, ty.width)
+            if isinstance(ty, T.TSigned):
+                return V.wrap_signed(~value, ty.width)
+            return ~value
+        raise EvalError(f"unknown unary operator {expr.op}")  # pragma: no cover
+
+    def _eval_field(self, expr: A.Field, env):
+        base = self.eval(expr.expr, env)
+        if isinstance(base, tuple):
+            idx = int(expr.name)
+            if idx >= len(base):
+                raise EvalError(f"tuple index {idx} out of range")
+            return base[idx]
+        if isinstance(base, V.StructValue):
+            return base.fields[self._field_index(base.constructor, expr.name)]
+        raise EvalError(f"cannot access field {expr.name!r} of {base!r}")
+
+    def _eval_call(self, expr: A.Call, env):
+        args = [self.eval(a, env) for a in expr.args]
+        return self.call(expr.func, args)
+
+    def _eval_tuple(self, expr: A.TupleExpr, env):
+        return tuple(self.eval(e, env) for e in expr.elems)
+
+    def _eval_vec(self, expr: A.VecExpr, env):
+        return tuple(self.eval(e, env) for e in expr.elems)
+
+    def _eval_struct(self, expr: A.StructExpr, env):
+        return V.StructValue(
+            expr.ctor, (self.eval(e, env) for _, e in expr.fields)
+        )
+
+    def _eval_if(self, expr: A.IfExpr, env):
+        if self.eval(expr.cond, env):
+            return self.eval(expr.then, env)
+        return self.eval(expr.els, env)
+
+    def _eval_match(self, expr: A.MatchExpr, env):
+        subject = self.eval(expr.subject, env)
+        for pat, arm in expr.arms:
+            arm_env = dict(env)
+            if self.match(pat, subject, arm_env, bind_always=True):
+                return self.eval(arm, arm_env)
+        raise EvalError(
+            f"no match arm matched value {V.format_value(subject)}"
+        )
+
+    def _eval_cast(self, expr: A.Cast, env):
+        value = self.eval(expr.expr, env)
+        ty = expr.type
+        if isinstance(ty, T.TBit):
+            return V.wrap_bit(int(value), ty.width)
+        if isinstance(ty, T.TSigned):
+            return V.wrap_signed(int(value), ty.width)
+        if isinstance(ty, T.TBigInt):
+            return int(value)
+        if isinstance(ty, T.TFloat):
+            return float(value)
+        raise EvalError(f"unsupported cast target {ty}")  # pragma: no cover
+
+    _DISPATCH = {
+        A.Lit: _eval_lit,
+        A.Var: _eval_var,
+        A.BinOp: _eval_binop,
+        A.UnaryOp: _eval_unary,
+        A.Field: _eval_field,
+        A.Call: _eval_call,
+        A.TupleExpr: _eval_tuple,
+        A.VecExpr: _eval_vec,
+        A.StructExpr: _eval_struct,
+        A.IfExpr: _eval_if,
+        A.MatchExpr: _eval_match,
+        A.Cast: _eval_cast,
+    }

@@ -1,0 +1,722 @@
+"""Incremental evaluation of recursive rule sets (DRed).
+
+A recursive SCC — e.g. the paper's network-labeling program::
+
+    Label(n1, l) :- GivenLabel(n1, l).
+    Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+
+cannot be maintained by the counting/delta operators alone: a fact can
+support itself through a cycle.  The classical solution, implemented
+here, is **delete–rederive (DRed)** with semi-naive evaluation:
+
+1. **Overdelete**: compute everything transitively derivable *using* a
+   deleted fact, over the pre-transaction state.
+2. **Rederive**: overdeleted facts that still have an alternative
+   derivation over the remaining state are put back (top-down head
+   binding makes this cheap for the common all-variable heads).
+3. **Insert**: semi-naive fixpoint seeded from the inserted facts.
+
+The SCC is wrapped in a :class:`SccNode` so it composes with the
+delta-dataflow graph: external relations (lower strata) feed its input
+ports, and each member relation's output delta flows onward.
+
+Non-recursive rules whose head happens to live in an SCC (the base case
+``Label(n,l) :- GivenLabel(n,l)``) are *not* evaluated here: the engine
+plans them as ordinary dataflow and routes their output into the SCC as
+a synthetic base relation, so features like aggregation remain usable
+in base rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.dlog import ast as A
+from repro.dlog.dataflow.operators import Node
+from repro.dlog.dataflow.zset import ZSet
+from repro.dlog.interp import Evaluator
+from repro.dlog.plan import (
+    _pattern_free_vars,
+    classify_args,
+    expr_vars,
+    pattern_vars,
+    pattern_vars_of_atom,
+)
+from repro.dlog.typecheck import CheckedProgram
+from repro.dlog.values import MapValue
+from repro.errors import StratificationError
+
+
+_ADAPTIVE_THRESHOLD = 16
+
+
+class IndexStore:
+    """Row sets per relation with lazily built, incrementally maintained
+    hash indexes on position subsets."""
+
+    def __init__(self):
+        self.sets: Dict[str, Set[tuple]] = {}
+        self.indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[tuple, Set[tuple]]] = {}
+
+    def ensure(self, rel: str) -> Set[tuple]:
+        return self.sets.setdefault(rel, set())
+
+    def contains(self, rel: str, row: tuple) -> bool:
+        rows = self.sets.get(rel)
+        return rows is not None and row in rows
+
+    def add(self, rel: str, row: tuple) -> bool:
+        rows = self.ensure(rel)
+        if row in rows:
+            return False
+        rows.add(row)
+        for (irel, positions), index in self.indexes.items():
+            if irel == rel:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, set()).add(row)
+        return True
+
+    def remove(self, rel: str, row: tuple) -> bool:
+        rows = self.sets.get(rel)
+        if rows is None or row not in rows:
+            return False
+        rows.discard(row)
+        for (irel, positions), index in self.indexes.items():
+            if irel == rel:
+                key = tuple(row[p] for p in positions)
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(row)
+                    if not bucket:
+                        del index[key]
+        return True
+
+    def lookup(self, rel: str, positions: Tuple[int, ...], key: tuple) -> Iterable[tuple]:
+        if not positions:
+            return self.sets.get(rel, ())
+        index = self.indexes.get((rel, positions))
+        if index is None:
+            index = {}
+            for row in self.sets.get(rel, ()):
+                k = tuple(row[p] for p in positions)
+                index.setdefault(k, set()).add(row)
+            self.indexes[(rel, positions)] = index
+        return index.get(key, ())
+
+    def total_rows(self) -> int:
+        return sum(len(s) for s in self.sets.values())
+
+    def total_index_entries(self) -> int:
+        return sum(
+            sum(len(b) for b in idx.values()) for idx in self.indexes.values()
+        )
+
+
+# -- compiled rule steps ---------------------------------------------------------
+
+
+class _JoinStep:
+    __slots__ = ("atom", "positions", "key_exprs", "new_vars", "key_vars")
+
+    def __init__(self, atom, positions, key_exprs, new_vars):
+        self.atom = atom
+        self.positions = positions
+        self.key_exprs = key_exprs
+        self.new_vars = new_vars
+        # Variables the key needs: if they are all bound, this step can
+        # be pulled forward by the adaptive reordering below.
+        vars_needed: Set[str] = set()
+        for e in key_exprs:
+            vars_needed.update(expr_vars(e))
+        self.key_vars = frozenset(vars_needed)
+
+
+class _NegStep:
+    __slots__ = ("atom", "positions", "key_exprs", "residual")
+
+    def __init__(self, atom, positions, key_exprs, residual):
+        self.atom = atom
+        self.positions = positions
+        self.key_exprs = key_exprs
+        self.residual = residual
+
+
+class _GuardStep:
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class _AssignStep:
+    __slots__ = ("pattern", "expr")
+
+    def __init__(self, pattern, expr):
+        self.pattern = pattern
+        self.expr = expr
+
+
+class _FlatMapStep:
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var, expr):
+        self.var = var
+        self.expr = expr
+
+
+class _CompiledRule:
+    """One rule with precompiled evaluation orders.
+
+    ``variants[v]`` is the step list to use when the seed is:
+
+    * ``None`` — no seed (full evaluation, body order as written);
+    * an integer — the body index of the seed atom, whose rows come from
+      a delta; the seed atom's pattern match runs first, then the rest;
+    * ``"head"`` — top-down rederivation with head variables pre-bound.
+    """
+
+    def __init__(self, rule: A.Rule, head_exprs: List[A.Expr]):
+        self.rule = rule
+        self.head_rel = rule.head.relation
+        self.head_exprs = head_exprs
+        self.variants: Dict[object, List[object]] = {}
+        # Top-down head binding: var name per column, or None if the
+        # head column is a computed expression (forces fallback).
+        self.head_vars: Optional[List[Tuple[int, str]]] = None
+        self.head_consts: List[Tuple[int, object]] = []
+        bindable: List[Tuple[int, str]] = []
+        ok = True
+        for i, e in enumerate(head_exprs):
+            if isinstance(e, A.Var):
+                bindable.append((i, e.name))
+            elif isinstance(e, A.Lit):
+                self.head_consts.append((i, e.value))
+            else:
+                ok = False
+        if ok:
+            self.head_vars = bindable
+
+
+class SccEvaluator:
+    """DRed-based incremental evaluator for one recursive SCC."""
+
+    def __init__(
+        self,
+        members: Sequence[str],
+        rules: Sequence[A.Rule],
+        checked: CheckedProgram,
+        evaluator: Optional[Evaluator] = None,
+        mode: str = "dred",
+    ):
+        if mode not in ("dred", "recompute"):
+            raise ValueError(f"unknown recursive mode {mode!r}")
+        self.mode = mode
+        self.members = list(members)
+        self.member_set = set(members)
+        self.checked = checked
+        self.evaluator = evaluator or Evaluator(checked)
+        self.state = IndexStore()
+        for member in self.members:
+            self.state.ensure(member)
+
+        self.rules: List[_CompiledRule] = []
+        self.rules_by_head: Dict[str, List[_CompiledRule]] = {m: [] for m in members}
+        # external relation -> [(compiled_rule, body_index, polarity)]
+        self.ext_watch: Dict[str, List[Tuple[_CompiledRule, int, str]]] = {}
+        # member relation -> [(compiled_rule, body_index)]
+        self.member_watch: Dict[str, List[Tuple[_CompiledRule, int]]] = {
+            m: [] for m in members
+        }
+        self.externals: List[str] = []
+        for rule in rules:
+            self._compile_rule(rule)
+        self.externals = sorted(self.ext_watch.keys())
+        for ext in self.externals:
+            self.state.ensure(ext)
+
+    # -- compilation -------------------------------------------------------------
+
+    def _compile_rule(self, rule: A.Rule) -> None:
+        compiled = _CompiledRule(rule, self.checked.head_exprs[id(rule)])
+        for idx, item in enumerate(rule.body):
+            if isinstance(item, A.AggregateItem):
+                raise StratificationError(
+                    f"rule {rule.name}: aggregation inside recursive SCC "
+                    f"({', '.join(self.members)}) is not stratifiable"
+                )
+            if isinstance(item, A.AtomItem):
+                rel = item.atom.relation
+                if rel in self.member_set:
+                    self.member_watch[rel].append((compiled, idx))
+                else:
+                    self.ext_watch.setdefault(rel, []).append(
+                        (compiled, idx, "positive")
+                    )
+            elif isinstance(item, A.NegAtom):
+                rel = item.atom.relation
+                if rel in self.member_set:
+                    raise StratificationError(
+                        f"rule {rule.name}: negation of {rel} inside its own "
+                        "recursive SCC"
+                    )
+                self.ext_watch.setdefault(rel, []).append(
+                    (compiled, idx, "negative")
+                )
+        compiled.variants[None] = self._compile_variant(rule, None, set())
+        for idx, item in enumerate(rule.body):
+            if isinstance(item, A.AtomItem):
+                seed_bound = set(pattern_vars_of_atom(item.atom))
+                compiled.variants[idx] = self._compile_variant(rule, idx, seed_bound)
+            elif isinstance(item, A.NegAtom):
+                # A negated atom's variables are bound by other atoms;
+                # matching the seed row pre-binds them, but the negation
+                # itself must still be (re-)checked against the current
+                # state, so it is NOT skipped from the step list.
+                seed_bound = set(pattern_vars_of_atom(item.atom))
+                compiled.variants[idx] = self._compile_variant(rule, None, seed_bound)
+        if compiled.head_vars is not None:
+            bound = {v for _, v in compiled.head_vars}
+            compiled.variants["head"] = self._compile_variant(rule, None, bound)
+        self.rules.append(compiled)
+        self.rules_by_head[rule.head.relation].append(compiled)
+
+    def _compile_variant(
+        self, rule: A.Rule, skip_idx: Optional[int], bound0: Set[str]
+    ) -> List[object]:
+        """Compile one evaluation order, greedily most-bound-first.
+
+        Body items are conjunctive, so reordering is semantics-
+        preserving; choosing the next atom by how many of its argument
+        positions are already determined turns e.g. top-down
+        rederivation (head variables pre-bound) into index probes
+        instead of relation scans.  Guards, assignments, FlatMaps, and
+        negations are emitted as soon as their variables are available,
+        preserving their relative order.
+        """
+        steps: List[object] = []
+        bound = set(bound0)
+        remaining: List[Tuple[int, object]] = [
+            (idx, item)
+            for idx, item in enumerate(rule.body)
+            if idx != skip_idx
+        ]
+        while remaining:
+            emitted = self._emit_ready_non_atoms(rule, remaining, bound, steps)
+            if emitted:
+                continue
+            atom_choices = [
+                (i, idx, item.atom)
+                for i, (idx, item) in enumerate(remaining)
+                if isinstance(item, A.AtomItem)
+            ]
+            if not atom_choices:
+                # Only possible for ill-formed bodies; the typechecker
+                # guarantees variables are eventually bound.
+                _, item = remaining[0]
+                raise StratificationError(
+                    f"rule {rule.name}: cannot schedule {item!r}"
+                )
+            # Score: most keyable positions first; on ties prefer
+            # external (input) relations over SCC members — the member
+            # is the derived closure and is usually the largest
+            # relation in the stratum.
+            best = max(
+                atom_choices,
+                key=lambda c: (
+                    len(classify_args(c[2].args, bound)[0]),
+                    c[2].relation not in self.member_set,
+                    -c[0],
+                ),
+            )
+            i, _, atom = best
+            keys, _res = classify_args(atom.args, bound)
+            steps.append(
+                _JoinStep(
+                    atom,
+                    tuple(pos for pos, _ in keys),
+                    tuple(e for _, e in keys),
+                    tuple(
+                        v for v in pattern_vars_of_atom(atom) if v not in bound
+                    ),
+                )
+            )
+            bound.update(pattern_vars_of_atom(atom))
+            del remaining[i]
+        return steps
+
+    def _emit_ready_non_atoms(self, rule, remaining, bound, steps) -> bool:
+        """Emit the first non-atom item whose variables are bound."""
+        for i, (_, item) in enumerate(remaining):
+            if isinstance(item, A.Guard):
+                if expr_vars(item.expr) <= bound:
+                    steps.append(_GuardStep(item.expr))
+                    del remaining[i]
+                    return True
+            elif isinstance(item, A.Assignment):
+                if expr_vars(item.expr) <= bound:
+                    steps.append(_AssignStep(item.pattern, item.expr))
+                    bound.update(pattern_vars(item.pattern))
+                    del remaining[i]
+                    return True
+            elif isinstance(item, A.FlatMapItem):
+                if expr_vars(item.expr) <= bound:
+                    steps.append(_FlatMapStep(item.var, item.expr))
+                    bound.add(item.var)
+                    del remaining[i]
+                    return True
+            elif isinstance(item, A.NegAtom):
+                atom = item.atom
+                deps = set()
+                for arg in atom.args:
+                    deps.update(_pattern_free_vars(arg))
+                if deps <= bound:
+                    keys, residual = classify_args(atom.args, bound)
+                    for pos in residual:
+                        if _pattern_free_vars(atom.args[pos]):
+                            raise StratificationError(
+                                f"rule {rule.name}: negated atom "
+                                f"{atom.relation} mixes bound variables and "
+                                "wildcards in one argument; rewrite as "
+                                "separate conditions"
+                            )
+                    steps.append(
+                        _NegStep(
+                            atom,
+                            tuple(pos for pos, _ in keys),
+                            tuple(e for _, e in keys),
+                            tuple((pos, atom.args[pos]) for pos in residual),
+                        )
+                    )
+                    del remaining[i]
+                    return True
+        return False
+
+    # -- step evaluation -----------------------------------------------------------
+
+    def _eval_steps(
+        self, steps: List[object], env: Dict[str, object], i: int = 0
+    ) -> Iterator[Dict[str, object]]:
+        if i == len(steps):
+            yield env
+            return
+        step = steps[i]
+        ev = self.evaluator
+        if isinstance(step, _JoinStep):
+            key = tuple(ev.eval(e, env) for e in step.key_exprs)
+            bucket = self.state.lookup(step.atom.relation, step.positions, key)
+            # Adaptive ordering: static planning cannot know bucket
+            # sizes (e.g. "all labels ell" vs "in-edges of node b").
+            # If this bucket is large, pull forward a later join whose
+            # key is already computable and whose bucket is smaller.
+            if len(bucket) > _ADAPTIVE_THRESHOLD:
+                swapped = self._try_pull_forward(steps, i, env, len(bucket))
+                if swapped is not None:
+                    yield from self._eval_steps(swapped, env, i)
+                    return
+            for row in bucket:
+                env2 = dict(env)
+                if self._match_atom(step.atom, row, env2):
+                    yield from self._eval_steps(steps, env2, i + 1)
+        elif isinstance(step, _NegStep):
+            key = tuple(ev.eval(e, env) for e in step.key_exprs)
+            blocked = False
+            for row in self.state.lookup(step.atom.relation, step.positions, key):
+                if all(
+                    ev.match(pat, row[pos], {}, bind_always=False)
+                    for pos, pat in step.residual
+                ):
+                    blocked = True
+                    break
+            if not blocked:
+                yield from self._eval_steps(steps, env, i + 1)
+        elif isinstance(step, _GuardStep):
+            if ev.eval(step.expr, env):
+                yield from self._eval_steps(steps, env, i + 1)
+        elif isinstance(step, _AssignStep):
+            value = ev.eval(step.expr, env)
+            env2 = dict(env)
+            if ev.match(step.pattern, value, env2, bind_always=True):
+                yield from self._eval_steps(steps, env2, i + 1)
+        elif isinstance(step, _FlatMapStep):
+            value = ev.eval(step.expr, env)
+            elems = value.pairs if isinstance(value, MapValue) else value
+            for elem in elems:
+                env2 = dict(env)
+                env2[step.var] = elem
+                yield from self._eval_steps(steps, env2, i + 1)
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown step {step!r}")
+
+    def _try_pull_forward(
+        self, steps: List[object], i: int, env: Dict[str, object], current: int
+    ) -> Optional[List[object]]:
+        """Find a later, already-computable join with a much smaller
+        bucket; return the reordered step list, or None.
+
+        Moving a conjunctive step earlier is semantics-preserving: its
+        pattern match re-validates every argument, intermediate steps
+        never depend on variables it binds (they were planned without
+        them), and negations consult the full state regardless of
+        position.
+        """
+        ev = self.evaluator
+        bound = env.keys()
+        for j in range(i + 1, len(steps)):
+            candidate = steps[j]
+            if not isinstance(candidate, _JoinStep):
+                continue
+            if not candidate.positions or not candidate.key_vars <= bound:
+                continue
+            key = tuple(ev.eval(e, env) for e in candidate.key_exprs)
+            size = len(
+                self.state.lookup(
+                    candidate.atom.relation, candidate.positions, key
+                )
+            )
+            if size * 4 <= current:
+                return steps[:i] + [candidate] + steps[i:j] + steps[j + 1 :]
+        return None
+
+    def _match_atom(self, atom: A.Atom, row: tuple, env: Dict[str, object]) -> bool:
+        ev = self.evaluator
+        for pat, value in zip(atom.args, row):
+            if not ev.match(pat, value, env, bind_always=False):
+                return False
+        return True
+
+    def _heads_from_seed(
+        self, compiled: _CompiledRule, seed_idx: int, seed_rows: Iterable[tuple]
+    ) -> Iterator[tuple]:
+        """Evaluate a rule with body atom ``seed_idx`` restricted to rows."""
+        steps = compiled.variants[seed_idx]
+        atom = compiled.rule.body[seed_idx].atom
+        ev = self.evaluator
+        for row in seed_rows:
+            env = {}
+            if not self._match_atom(atom, row, env):
+                continue
+            for final_env in self._eval_steps(steps, env):
+                yield tuple(ev.eval(e, final_env) for e in compiled.head_exprs)
+
+    def _full_heads(self, compiled: _CompiledRule) -> Iterator[tuple]:
+        ev = self.evaluator
+        for env in self._eval_steps(compiled.variants[None], {}):
+            yield tuple(ev.eval(e, env) for e in compiled.head_exprs)
+
+    def _derivable(self, compiled: _CompiledRule, row: tuple) -> Optional[bool]:
+        """Top-down: is ``row`` derivable by this rule right now?
+
+        Returns None when the head is not invertible (caller falls back
+        to full evaluation)."""
+        if compiled.head_vars is None:
+            return None
+        for pos, const in compiled.head_consts:
+            if row[pos] != const:
+                return False
+        env = {}
+        for pos, var in compiled.head_vars:
+            if var in env:
+                if env[var] != row[pos]:
+                    return False
+            else:
+                env[var] = row[pos]
+        for _ in self._eval_steps(compiled.variants["head"], env):
+            return True
+        return False
+
+    # -- transaction processing -------------------------------------------------------
+
+    def apply(self, ext_deltas: Dict[str, ZSet]) -> Dict[str, ZSet]:
+        """Apply external deltas; return per-member output deltas."""
+        ins: Dict[str, List[tuple]] = {}
+        dels: Dict[str, List[tuple]] = {}
+        for rel, delta in ext_deltas.items():
+            for row, weight in delta.items():
+                if weight > 0:
+                    ins.setdefault(rel, []).append(row)
+                elif weight < 0:
+                    dels.setdefault(rel, []).append(row)
+
+        if self.mode == "recompute":
+            return self._apply_recompute(ins, dels)
+
+        out: Dict[str, ZSet] = {m: ZSet() for m in self.members}
+
+        # Phase 1: overdelete (over the pre-transaction state).
+        overdeleted: Dict[str, Set[tuple]] = {m: set() for m in self.members}
+        frontier: Dict[str, Set[tuple]] = {m: set() for m in self.members}
+        for rel, rows in dels.items():
+            for compiled, idx, pol in self.ext_watch.get(rel, ()):
+                if pol != "positive":
+                    continue
+                self._overdelete_from(compiled, idx, rows, overdeleted, frontier)
+        for rel, rows in ins.items():
+            for compiled, idx, pol in self.ext_watch.get(rel, ()):
+                if pol != "negative":
+                    continue
+                self._overdelete_from(compiled, idx, rows, overdeleted, frontier)
+        while any(frontier.values()):
+            new_frontier: Dict[str, Set[tuple]] = {m: set() for m in self.members}
+            for member, rows in frontier.items():
+                if not rows:
+                    continue
+                for compiled, idx in self.member_watch[member]:
+                    self._overdelete_from(
+                        compiled, idx, rows, overdeleted, new_frontier
+                    )
+            frontier = new_frontier
+
+        # Apply deletions and external changes.
+        for member, rows in overdeleted.items():
+            for row in rows:
+                if self.state.remove(member, row):
+                    out[member].add(row, -1)
+        for rel, rows in dels.items():
+            for row in rows:
+                self.state.remove(rel, row)
+        for rel, rows in ins.items():
+            for row in rows:
+                self.state.add(rel, row)
+
+        # Phase 2: rederive overdeleted facts that survive.  One
+        # top-down pass checks each candidate against the remaining
+        # state; a worklist then propagates forward from every
+        # rederived fact (a rederived fact can only re-enable
+        # derivations it participates in, so propagation is complete).
+        remaining = {m: set(rows) for m, rows in overdeleted.items()}
+        worklist: List[Tuple[str, tuple]] = []
+        for member in self.members:
+            fallback_heads: Dict[int, Set[tuple]] = {}
+            for row in list(remaining[member]):
+                ok = False
+                for compiled in self.rules_by_head[member]:
+                    verdict = self._derivable(compiled, row)
+                    if verdict is None:
+                        key = id(compiled)
+                        if key not in fallback_heads:
+                            fallback_heads[key] = set(self._full_heads(compiled))
+                        verdict = row in fallback_heads[key]
+                    if verdict:
+                        ok = True
+                        break
+                if ok:
+                    remaining[member].discard(row)
+                    if self.state.add(member, row):
+                        out[member].add(row, 1)
+                        worklist.append((member, row))
+        while worklist:
+            member, row = worklist.pop()
+            for compiled, idx in self.member_watch[member]:
+                head_rel = compiled.head_rel
+                for head in self._heads_from_seed(compiled, idx, [row]):
+                    if head in remaining[head_rel]:
+                        remaining[head_rel].discard(head)
+                        if self.state.add(head_rel, head):
+                            out[head_rel].add(head, 1)
+                            worklist.append((head_rel, head))
+
+        # Phase 3: semi-naive insertion.
+        delta: Dict[str, Set[tuple]] = {m: set() for m in self.members}
+        for rel, rows in ins.items():
+            for compiled, idx, pol in self.ext_watch.get(rel, ()):
+                if pol != "positive":
+                    continue
+                self._insert_from(compiled, idx, rows, out, delta)
+        for rel, rows in dels.items():
+            for compiled, idx, pol in self.ext_watch.get(rel, ()):
+                if pol != "negative":
+                    continue
+                self._insert_from(compiled, idx, rows, out, delta)
+        while any(delta.values()):
+            new_delta: Dict[str, Set[tuple]] = {m: set() for m in self.members}
+            for member, rows in delta.items():
+                if not rows:
+                    continue
+                for compiled, idx in self.member_watch[member]:
+                    self._insert_from(compiled, idx, rows, out, new_delta)
+            delta = new_delta
+
+        return out
+
+    def _overdelete_from(self, compiled, idx, rows, overdeleted, frontier) -> None:
+        member = compiled.head_rel
+        for head in self._heads_from_seed(compiled, idx, rows):
+            if head in overdeleted[member]:
+                continue
+            if not self.state.contains(member, head):
+                continue
+            overdeleted[member].add(head)
+            frontier[member].add(head)
+
+    def _insert_from(self, compiled, idx, rows, out, delta) -> None:
+        member = compiled.head_rel
+        for head in self._heads_from_seed(compiled, idx, rows):
+            if self.state.add(member, head):
+                out[member].add(head, 1)
+                delta[member].add(head)
+
+    # -- full recomputation (ablation baseline) ------------------------------------------
+
+    def _apply_recompute(self, ins, dels) -> Dict[str, ZSet]:
+        old = {m: set(self.state.sets.get(m, ())) for m in self.members}
+        for rel, rows in dels.items():
+            for row in rows:
+                self.state.remove(rel, row)
+        for rel, rows in ins.items():
+            for row in rows:
+                self.state.add(rel, row)
+        for member in self.members:
+            for row in list(self.state.sets.get(member, ())):
+                self.state.remove(member, row)
+        # Naive fixpoint: run every rule until nothing new appears.
+        changed = True
+        while changed:
+            changed = False
+            for compiled in self.rules:
+                for head in list(self._full_heads(compiled)):
+                    if self.state.add(compiled.head_rel, head):
+                        changed = True
+        out: Dict[str, ZSet] = {}
+        for member in self.members:
+            delta = ZSet()
+            new = self.state.sets.get(member, set())
+            for row in new - old[member]:
+                delta.add(row, 1)
+            for row in old[member] - new:
+                delta.add(row, -1)
+            out[member] = delta
+        return out
+
+    # -- introspection ------------------------------------------------------------------
+
+    def extent(self, member: str) -> Set[tuple]:
+        return set(self.state.sets.get(member, ()))
+
+    def state_size(self) -> int:
+        return self.state.total_rows() + self.state.total_index_entries()
+
+
+class SccNode(Node):
+    """Dataflow node wrapping an :class:`SccEvaluator`.
+
+    Input port *i* carries the delta of ``externals[i]``; the output is
+    a dict keyed by member relation name.
+    """
+
+    multi_output = True
+
+    def __init__(self, evaluator: SccEvaluator, name: str = ""):
+        super().__init__(name or f"scc({','.join(evaluator.members)})")
+        self.scc = evaluator
+        self.externals = list(evaluator.externals)
+        self.n_ports = max(1, len(self.externals))
+
+    def process(self, deltas):
+        ext_deltas: Dict[str, ZSet] = {}
+        for i, rel in enumerate(self.externals):
+            if i < len(deltas) and deltas[i]:
+                ext_deltas[rel] = deltas[i]
+        return self.scc.apply(ext_deltas)
+
+    def state_size(self) -> int:
+        return self.scc.state_size()

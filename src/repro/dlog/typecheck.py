@@ -1,0 +1,705 @@
+"""Rule and expression typechecking for the control-plane language.
+
+The checker validates a parsed :class:`~repro.dlog.ast.Program` and
+produces a :class:`CheckedProgram` carrying:
+
+* the :class:`~repro.dlog.types.TypeEnv` with all typedefs registered;
+* relation declarations by name (with duplicate/arity checking);
+* per-rule variable types, used by the query planner;
+* a *node-type table* mapping expression nodes to their types, which the
+  interpreter consults to apply ``bit<N>`` wrap-around semantics;
+* head argument patterns converted to plain expressions.
+
+Design notes
+------------
+
+Integer literals without an explicit width (``5`` rather than ``32'd5``)
+are polymorphic: they adopt the type expected by their context and
+default to ``bigint``.  To make the common ``x + 1`` and ``1 + x`` both
+work, binary operators check the non-literal side first.
+
+Named constructor fields (``Trunk{native: 5}``) are **normalized to
+declaration order in place**, so downstream passes can treat all struct
+expressions and patterns as positional.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dlog import ast as A
+from repro.dlog import types as T
+from repro.dlog.stdlib import AGGREGATES, BUILTINS
+from repro.errors import TypeCheckError
+
+
+class CheckedProgram:
+    """A typechecked program plus the side tables later passes need."""
+
+    def __init__(self, ast: A.Program, tenv: T.TypeEnv):
+        self.ast = ast
+        self.tenv = tenv
+        self.relations: Dict[str, A.RelationDecl] = {}
+        self.functions: Dict[str, A.FunctionDecl] = {}
+        self.node_types: Dict[int, T.Type] = {}
+        # rule id -> {var: type} after the whole body has been processed
+        self.rule_vars: Dict[int, Dict[str, T.Type]] = {}
+        # rule id -> head argument expressions (patterns converted)
+        self.head_exprs: Dict[int, List[A.Expr]] = {}
+
+    def relation(self, name: str) -> A.RelationDecl:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise TypeCheckError(f"unknown relation {name!r}") from None
+
+    def type_of(self, node: A.Node) -> Optional[T.Type]:
+        return self.node_types.get(id(node))
+
+
+def _err(pos: A.Pos, message: str) -> TypeCheckError:
+    return TypeCheckError(message, pos.source, pos.line, pos.column)
+
+
+def _is_bare_int_lit(expr: A.Expr) -> bool:
+    return (
+        isinstance(expr, A.Lit)
+        and isinstance(expr.value, int)
+        and not isinstance(expr.value, bool)
+        and expr.width is None
+    )
+
+
+class Checker:
+    def __init__(self, ast: A.Program):
+        self.ast = ast
+        self.tenv = T.TypeEnv()
+        self.out = CheckedProgram(ast, self.tenv)
+
+    # -- program ------------------------------------------------------------
+
+    def check(self) -> CheckedProgram:
+        for tdef in self.ast.typedefs:
+            self.tenv.define(tdef)
+        for tdef in self.tenv.typedefs():
+            for ctor in tdef.constructors:
+                for field in ctor.fields:
+                    self.tenv.resolve(field.type)
+        for rel in self.ast.relations:
+            if rel.name in self.out.relations:
+                raise _err(rel.pos, f"duplicate relation {rel.name}")
+            names = rel.column_names()
+            if len(set(names)) != len(names):
+                raise _err(rel.pos, f"duplicate column name in {rel.name}")
+            for _, ty in rel.columns:
+                self.tenv.resolve(ty)
+            self.out.relations[rel.name] = rel
+        for fn in self.ast.functions:
+            if fn.name in self.out.functions or fn.name in BUILTINS:
+                raise _err(fn.pos, f"duplicate function {fn.name}")
+            self.out.functions[fn.name] = fn
+        for fn in self.ast.functions:
+            self._check_function(fn)
+        for rule in self.ast.rules:
+            self._check_rule(rule)
+        return self.out
+
+    def _check_function(self, fn: A.FunctionDecl) -> None:
+        env: Dict[str, T.Type] = {}
+        for name, ty in fn.params:
+            if name in env:
+                raise _err(fn.pos, f"duplicate parameter {name}")
+            env[name] = self.tenv.resolve(ty)
+        self.tenv.resolve(fn.return_type)
+        got = self.check_expr(fn.body, env, fn.return_type)
+        if got != fn.return_type:
+            raise _err(
+                fn.pos,
+                f"function {fn.name} declared to return {fn.return_type}, "
+                f"body has type {got}",
+            )
+
+    # -- rules ----------------------------------------------------------------
+
+    def _check_rule(self, rule: A.Rule) -> None:
+        head_rel = self.out.relation(rule.head.relation)
+        if head_rel.role == "input":
+            raise _err(
+                rule.pos,
+                f"rule derives into input relation {head_rel.name}; "
+                "input relations can only be written by transactions",
+            )
+        env: Dict[str, T.Type] = {}
+        for item in rule.body:
+            if isinstance(item, A.AtomItem):
+                self._check_atom(item.atom, env, binding=True)
+            elif isinstance(item, A.NegAtom):
+                self._check_atom(item.atom, env, binding=False)
+            elif isinstance(item, A.Guard):
+                got = self.check_expr(item.expr, env, T.BOOL)
+                if got != T.BOOL:
+                    raise _err(item.pos, f"guard must be bool, got {got}")
+            elif isinstance(item, A.Assignment):
+                ty = self.check_expr(item.expr, env, None)
+                self._bind_pattern(item.pattern, ty, env, context="assignment")
+            elif isinstance(item, A.FlatMapItem):
+                ty = self.check_expr(item.expr, env, None)
+                if isinstance(ty, T.TVec):
+                    elem: T.Type = ty.elem
+                elif isinstance(ty, T.TMap):
+                    elem = T.TTuple([ty.kty, ty.vty])
+                else:
+                    raise _err(item.pos, f"FlatMap expects Vec or Map, got {ty}")
+                if item.var in env:
+                    raise _err(item.pos, f"variable {item.var} already bound")
+                env[item.var] = elem
+            elif isinstance(item, A.AggregateItem):
+                self._check_aggregate(item, env)
+            else:  # pragma: no cover - parser produces no other items
+                raise _err(item.pos, f"unsupported body item {item!r}")
+
+        if len(rule.head.args) != head_rel.arity:
+            raise _err(
+                rule.pos,
+                f"head {head_rel.name} expects {head_rel.arity} argument(s), "
+                f"got {len(rule.head.args)}",
+            )
+        head_exprs: List[A.Expr] = []
+        for arg, (col, col_ty) in zip(rule.head.args, head_rel.columns):
+            expr = pattern_to_expr(arg)
+            got = self.check_expr(expr, env, col_ty)
+            if got != col_ty:
+                raise _err(
+                    rule.pos,
+                    f"head column {head_rel.name}.{col} has type {col_ty}, "
+                    f"rule produces {got}",
+                )
+            head_exprs.append(expr)
+        self.out.head_exprs[id(rule)] = head_exprs
+        self.out.rule_vars[id(rule)] = dict(env)
+
+    def _check_atom(self, atom: A.Atom, env: Dict[str, T.Type], binding: bool) -> None:
+        rel = self.out.relation(atom.relation)
+        if len(atom.args) != rel.arity:
+            raise _err(
+                atom.pos,
+                f"{rel.name} expects {rel.arity} argument(s), got {len(atom.args)}",
+            )
+        for arg, (_, col_ty) in zip(atom.args, rel.columns):
+            self._check_atom_arg(atom, arg, col_ty, env, binding)
+
+    def _check_atom_arg(
+        self,
+        atom: A.Atom,
+        arg: A.Pattern,
+        col_ty: T.Type,
+        env: Dict[str, T.Type],
+        binding: bool,
+    ) -> None:
+        if isinstance(arg, A.PWildcard):
+            return
+        if isinstance(arg, A.PVar):
+            if arg.name in env:
+                if env[arg.name] != col_ty:
+                    raise _err(
+                        arg.pos,
+                        f"variable {arg.name} has type {env[arg.name]}, "
+                        f"used at position of type {col_ty}",
+                    )
+            elif binding:
+                env[arg.name] = col_ty
+            else:
+                raise _err(
+                    arg.pos,
+                    f"variable {arg.name} is unbound; negated atoms cannot "
+                    "bind new variables",
+                )
+            return
+        if isinstance(arg, A.PLit):
+            self._check_literal_pattern(arg, col_ty)
+            return
+        if isinstance(arg, A.PTuple):
+            if not isinstance(col_ty, T.TTuple) or len(col_ty.elems) != len(arg.elems):
+                raise _err(arg.pos, f"tuple pattern does not match type {col_ty}")
+            for sub, sub_ty in zip(arg.elems, col_ty.elems):
+                self._check_atom_arg(atom, sub, sub_ty, env, binding)
+            return
+        if isinstance(arg, A.PStruct):
+            fields = self._normalize_struct_pattern(arg, col_ty)
+            for (_, sub), field in zip(arg.fields, fields):
+                self._check_atom_arg(atom, sub, field.type, env, binding)
+            return
+        if isinstance(arg, A.PExpr):
+            got = self.check_expr(arg.expr, env, col_ty)
+            if got != col_ty:
+                raise _err(
+                    arg.pos,
+                    f"argument expression has type {got}, expected {col_ty}",
+                )
+            return
+        raise _err(arg.pos, f"unsupported pattern {arg!r}")  # pragma: no cover
+
+    def _check_aggregate(self, item: A.AggregateItem, env: Dict[str, T.Type]) -> None:
+        if item.func not in AGGREGATES:
+            raise _err(item.pos, f"unknown aggregate {item.func!r}")
+        agg = AGGREGATES[item.func]
+        for key in item.group_by:
+            if key not in env:
+                raise _err(item.pos, f"group-by variable {key} is unbound")
+        if item.var in env:
+            raise _err(item.pos, f"variable {item.var} already bound")
+        arg_types = [self.check_expr(a, env, None) for a in item.args]
+        try:
+            result = agg.sig(arg_types)
+        except TypeCheckError as exc:
+            raise _err(item.pos, str(exc)) from None
+        # After grouping, only the keys and the aggregate result survive.
+        keys = {k: env[k] for k in item.group_by}
+        env.clear()
+        env.update(keys)
+        env[item.var] = result
+
+    # -- patterns --------------------------------------------------------------
+
+    def _check_literal_pattern(self, pat: A.PLit, ty: T.Type) -> None:
+        value = pat.value
+        if isinstance(value, bool):
+            ok = isinstance(ty, T.TBool)
+        elif isinstance(value, int):
+            ok = T.is_integer(ty)
+            if isinstance(ty, T.TBit) and not 0 <= value < (1 << ty.width):
+                raise _err(pat.pos, f"literal {value} out of range for {ty}")
+        elif isinstance(value, str):
+            ok = isinstance(ty, T.TString)
+        elif isinstance(value, float):
+            ok = isinstance(ty, T.TFloat)
+        else:  # pragma: no cover
+            ok = False
+        if not ok:
+            raise _err(pat.pos, f"literal {value!r} does not match type {ty}")
+
+    def _normalize_struct_pattern(self, pat: A.PStruct, ty: T.Type) -> List[T.Field]:
+        """Check ``pat`` against ``ty``; reorder named fields in place."""
+        if not isinstance(ty, T.TUser):
+            raise _err(pat.pos, f"constructor pattern used at type {ty}")
+        owner = self.tenv.owner_of_constructor(pat.ctor)
+        if owner is None or owner.name != ty.name:
+            raise _err(
+                pat.pos, f"constructor {pat.ctor} does not belong to type {ty}"
+            )
+        _, ctor = self.tenv.constructor_signature(pat.ctor, ty)
+        pat.fields = _normalize_fields(
+            pat.pos, pat.ctor, pat.fields, ctor, allow_partial=False
+        )
+        return list(ctor.fields)
+
+    def _bind_pattern(
+        self,
+        pat: A.Pattern,
+        ty: T.Type,
+        env: Dict[str, T.Type],
+        context: str,
+        rebind: bool = False,
+    ) -> None:
+        """Bind pattern variables to types; ``rebind`` permits shadowing
+        (used in match arms, which have their own scope)."""
+        if isinstance(pat, A.PWildcard):
+            return
+        if isinstance(pat, A.PVar):
+            if pat.name in env and not rebind:
+                raise _err(pat.pos, f"variable {pat.name} already bound")
+            env[pat.name] = ty
+            return
+        if isinstance(pat, A.PLit):
+            self._check_literal_pattern(pat, ty)
+            return
+        if isinstance(pat, A.PTuple):
+            if not isinstance(ty, T.TTuple) or len(ty.elems) != len(pat.elems):
+                raise _err(pat.pos, f"tuple pattern does not match type {ty}")
+            for sub, sub_ty in zip(pat.elems, ty.elems):
+                self._bind_pattern(sub, sub_ty, env, context, rebind)
+            return
+        if isinstance(pat, A.PStruct):
+            fields = self._normalize_struct_pattern(pat, ty)
+            for (_, sub), field in zip(pat.fields, fields):
+                self._bind_pattern(sub, field.type, env, context, rebind)
+            return
+        raise _err(pat.pos, f"pattern not allowed in {context}")
+
+    # -- expressions -------------------------------------------------------------
+
+    def check_expr(
+        self, expr: A.Expr, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        ty = self._infer(expr, env, expected)
+        self.out.node_types[id(expr)] = ty
+        return ty
+
+    def _infer(
+        self, expr: A.Expr, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        if isinstance(expr, A.Lit):
+            return self._infer_lit(expr, expected)
+        if isinstance(expr, A.Var):
+            if expr.name not in env:
+                raise _err(expr.pos, f"unbound variable {expr.name}")
+            return env[expr.name]
+        if isinstance(expr, A.BinOp):
+            return self._infer_binop(expr, env, expected)
+        if isinstance(expr, A.UnaryOp):
+            return self._infer_unary(expr, env, expected)
+        if isinstance(expr, A.Field):
+            return self._infer_field(expr, env)
+        if isinstance(expr, A.Call):
+            return self._infer_call(expr, env)
+        if isinstance(expr, A.TupleExpr):
+            elem_expected: List[Optional[T.Type]]
+            if isinstance(expected, T.TTuple) and len(expected.elems) == len(
+                expr.elems
+            ):
+                elem_expected = list(expected.elems)
+            else:
+                elem_expected = [None] * len(expr.elems)
+            return T.TTuple(
+                [
+                    self.check_expr(e, env, want)
+                    for e, want in zip(expr.elems, elem_expected)
+                ]
+            )
+        if isinstance(expr, A.VecExpr):
+            return self._infer_vec(expr, env, expected)
+        if isinstance(expr, A.StructExpr):
+            return self._infer_struct(expr, env, expected)
+        if isinstance(expr, A.IfExpr):
+            cond = self.check_expr(expr.cond, env, T.BOOL)
+            if cond != T.BOOL:
+                raise _err(expr.pos, f"if condition must be bool, got {cond}")
+            then_ty = self.check_expr(expr.then, env, expected)
+            els_ty = self.check_expr(expr.els, env, then_ty)
+            if then_ty != els_ty:
+                raise _err(
+                    expr.pos, f"if branches disagree: {then_ty} vs {els_ty}"
+                )
+            return then_ty
+        if isinstance(expr, A.MatchExpr):
+            return self._infer_match(expr, env, expected)
+        if isinstance(expr, A.Cast):
+            src = self.check_expr(expr.expr, env, None)
+            dst = self.tenv.resolve(expr.type)
+            if not (T.is_numeric(src) and T.is_numeric(dst)):
+                raise _err(expr.pos, f"cannot cast {src} to {dst}")
+            return dst
+        raise _err(expr.pos, f"unsupported expression {expr!r}")  # pragma: no cover
+
+    def _infer_lit(self, expr: A.Lit, expected: Optional[T.Type]) -> T.Type:
+        value = expr.value
+        if isinstance(value, bool):
+            return T.BOOL
+        if isinstance(value, str):
+            return T.STRING
+        if isinstance(value, float):
+            return T.FLOAT
+        # Integer literal.
+        if expr.width is not None:
+            ty: T.Type = T.TBit(expr.width)
+            if not 0 <= value < (1 << expr.width):
+                raise _err(expr.pos, f"literal {value} out of range for {ty}")
+            return ty
+        if expected is not None and T.is_numeric(expected):
+            if isinstance(expected, T.TBit) and not 0 <= value < (1 << expected.width):
+                raise _err(expr.pos, f"literal {value} out of range for {expected}")
+            if isinstance(expected, T.TSigned):
+                half = 1 << (expected.width - 1)
+                if not -half <= value < half:
+                    raise _err(
+                        expr.pos, f"literal {value} out of range for {expected}"
+                    )
+            return expected
+        return T.BIGINT
+
+    _NUMERIC_OPS = {"+", "-", "*", "/", "%"}
+    _INTEGER_OPS = {"&", "|", "^", "<<", ">>"}
+    _COMPARE_OPS = {"<", "<=", ">", ">="}
+
+    def _infer_binop(
+        self, expr: A.BinOp, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        op = expr.op
+        if op in ("and", "or"):
+            lt = self.check_expr(expr.left, env, T.BOOL)
+            rt = self.check_expr(expr.right, env, T.BOOL)
+            if lt != T.BOOL or rt != T.BOOL:
+                raise _err(expr.pos, f"{op} expects bool operands")
+            return T.BOOL
+        if op in ("==", "!="):
+            lt, rt = self._check_same_type_operands(expr, env, None)
+            return T.BOOL
+        if op in self._COMPARE_OPS:
+            lt, rt = self._check_same_type_operands(expr, env, None)
+            if not (T.is_numeric(lt) or isinstance(lt, T.TString)):
+                raise _err(expr.pos, f"{op} expects numbers or strings, got {lt}")
+            return T.BOOL
+        if op in self._NUMERIC_OPS:
+            lt, rt = self._check_same_type_operands(expr, env, expected)
+            if not T.is_numeric(lt):
+                raise _err(expr.pos, f"{op} expects numeric operands, got {lt}")
+            return lt
+        if op == "++":
+            lt = self.check_expr(expr.left, env, expected)
+            rt = self.check_expr(expr.right, env, lt)
+            if lt != rt or not isinstance(lt, (T.TString, T.TVec)):
+                raise _err(expr.pos, f"++ expects two strings or two Vecs, got {lt}")
+            return lt
+        if op in ("<<", ">>"):
+            lt = self.check_expr(expr.left, env, expected)
+            rt = self.check_expr(expr.right, env, None)
+            if not T.is_integer(lt) or not T.is_integer(rt):
+                raise _err(expr.pos, f"{op} expects integer operands")
+            return lt
+        if op in ("&", "|", "^"):
+            lt, rt = self._check_same_type_operands(expr, env, expected)
+            if not T.is_integer(lt):
+                raise _err(expr.pos, f"{op} expects integer operands, got {lt}")
+            return lt
+        raise _err(expr.pos, f"unknown operator {op}")  # pragma: no cover
+
+    def _check_same_type_operands(
+        self, expr: A.BinOp, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> Tuple[T.Type, T.Type]:
+        # Bare integer literals adopt the other operand's type, so check
+        # the non-literal side first.
+        if _is_bare_int_lit(expr.left) and not _is_bare_int_lit(expr.right):
+            rt = self.check_expr(expr.right, env, expected)
+            lt = self.check_expr(expr.left, env, rt)
+        else:
+            lt = self.check_expr(expr.left, env, expected)
+            rt = self.check_expr(expr.right, env, lt)
+        if lt != rt:
+            raise _err(
+                expr.pos, f"operand types disagree: {lt} {expr.op} {rt}"
+            )
+        return lt, rt
+
+    def _infer_unary(
+        self, expr: A.UnaryOp, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        if expr.op == "not":
+            ty = self.check_expr(expr.operand, env, T.BOOL)
+            if ty != T.BOOL:
+                raise _err(expr.pos, f"not expects bool, got {ty}")
+            return T.BOOL
+        if expr.op == "-":
+            ty = self.check_expr(expr.operand, env, expected)
+            if not (
+                isinstance(ty, (T.TSigned, T.TBigInt, T.TFloat))
+            ):
+                raise _err(
+                    expr.pos,
+                    f"unary - expects signed/bigint/float, got {ty} "
+                    "(cast bit<N> values first)",
+                )
+            return ty
+        if expr.op == "~":
+            ty = self.check_expr(expr.operand, env, expected)
+            if not T.is_integer(ty):
+                raise _err(expr.pos, f"~ expects an integer, got {ty}")
+            return ty
+        raise _err(expr.pos, f"unknown unary operator {expr.op}")  # pragma: no cover
+
+    def _infer_field(self, expr: A.Field, env: Dict[str, T.Type]) -> T.Type:
+        base = self.check_expr(expr.expr, env, None)
+        if isinstance(base, T.TTuple):
+            if not expr.name.isdigit():
+                raise _err(expr.pos, f"tuples are indexed by position, got .{expr.name}")
+            idx = int(expr.name)
+            if idx >= len(base.elems):
+                raise _err(expr.pos, f"tuple index {idx} out of range for {base}")
+            return base.elems[idx]
+        if isinstance(base, T.TUser):
+            tdef = self.tenv.lookup(base.name)
+            if tdef.is_union:
+                raise _err(
+                    expr.pos,
+                    f"cannot access field of union type {base}; use match",
+                )
+            ctors = self.tenv.instantiate(base)
+            ctor = ctors[0]
+            for field in ctor.fields:
+                if field.name == expr.name:
+                    return field.type
+            raise _err(expr.pos, f"type {base} has no field {expr.name!r}")
+        raise _err(expr.pos, f"cannot access field {expr.name!r} of {base}")
+
+    def _infer_call(self, expr: A.Call, env: Dict[str, T.Type]) -> T.Type:
+        if expr.func in self.out.functions:
+            fn = self.out.functions[expr.func]
+            if len(expr.args) != len(fn.params):
+                raise _err(
+                    expr.pos,
+                    f"{fn.name}() expects {len(fn.params)} argument(s), "
+                    f"got {len(expr.args)}",
+                )
+            for arg, (pname, pty) in zip(expr.args, fn.params):
+                got = self.check_expr(arg, env, pty)
+                if got != pty:
+                    raise _err(
+                        arg.pos,
+                        f"{fn.name}() parameter {pname} has type {pty}, got {got}",
+                    )
+            return fn.return_type
+        if expr.func in BUILTINS:
+            builtin = BUILTINS[expr.func]
+            arg_types = [self.check_expr(a, env, None) for a in expr.args]
+            try:
+                return builtin.sig(arg_types)
+            except TypeCheckError as exc:
+                raise _err(expr.pos, f"{expr.func}(): {exc.message}") from None
+        raise _err(expr.pos, f"unknown function {expr.func!r}")
+
+    def _infer_vec(
+        self, expr: A.VecExpr, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        elem_expected = expected.elem if isinstance(expected, T.TVec) else None
+        if not expr.elems:
+            if elem_expected is None:
+                raise _err(
+                    expr.pos,
+                    "cannot infer element type of empty vector; "
+                    "use it where a Vec<...> is expected",
+                )
+            return T.TVec(elem_expected)
+        first = self.check_expr(expr.elems[0], env, elem_expected)
+        for e in expr.elems[1:]:
+            got = self.check_expr(e, env, first)
+            if got != first:
+                raise _err(e.pos, f"vector elements disagree: {first} vs {got}")
+        return T.TVec(first)
+
+    def _infer_struct(
+        self, expr: A.StructExpr, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        result, ctor = self.tenv.constructor_signature(expr.ctor, expected)
+        expr.fields = _normalize_fields(
+            expr.pos, expr.ctor, expr.fields, ctor, allow_partial=False
+        )
+        subst: Dict[str, T.Type] = {}
+        for (_, arg), field in zip(expr.fields, ctor.fields):
+            want = field.type
+            if isinstance(want, T.TVar):
+                got = self.check_expr(arg, env, subst.get(want.name))
+                prior = subst.setdefault(want.name, got)
+                if prior != got:
+                    raise _err(
+                        arg.pos,
+                        f"type parameter {want.name} bound to both {prior} and {got}",
+                    )
+            else:
+                got = self.check_expr(arg, env, want)
+                if got != want:
+                    raise _err(
+                        arg.pos,
+                        f"field {field.name} of {expr.ctor} has type {want}, got {got}",
+                    )
+        final_args = []
+        for a in result.args:
+            if isinstance(a, T.TVar):
+                if a.name not in subst:
+                    # Unconstrained parameter (e.g. bare `None`): take it
+                    # from the expected type if available.
+                    if (
+                        isinstance(expected, T.TUser)
+                        and expected.name == result.name
+                        and len(expected.args) == len(result.args)
+                    ):
+                        subst[a.name] = expected.args[len(final_args)]
+                    else:
+                        raise _err(
+                            expr.pos,
+                            f"cannot infer type parameter {a.name} of {expr.ctor}; "
+                            "add an annotation or use it in a typed position",
+                        )
+                final_args.append(subst[a.name])
+            else:
+                final_args.append(a)
+        return T.TUser(result.name, final_args)
+
+    def _infer_match(
+        self, expr: A.MatchExpr, env: Dict[str, T.Type], expected: Optional[T.Type]
+    ) -> T.Type:
+        subject = self.check_expr(expr.subject, env, None)
+        result: Optional[T.Type] = expected
+        out_ty: Optional[T.Type] = None
+        # Check arms whose expression is not a bare integer literal first,
+        # so literal arms can adopt the type the other arms establish.
+        ordered = sorted(expr.arms, key=lambda arm: _is_bare_int_lit(arm[1]))
+        for pat, arm in ordered:
+            arm_env = dict(env)
+            self._bind_pattern(pat, subject, arm_env, "match arm", rebind=True)
+            got = self.check_expr(arm, arm_env, result)
+            if out_ty is None:
+                out_ty = got
+                result = got
+            elif got != out_ty:
+                raise _err(expr.pos, f"match arms disagree: {out_ty} vs {got}")
+        assert out_ty is not None
+        return out_ty
+
+
+def _normalize_fields(pos, ctor_name, fields, ctor, allow_partial):
+    """Reorder named fields to declaration order; validate positional arity.
+
+    Returns the normalized ``(name, item)`` list (names dropped to None).
+    """
+    named = [f for f in fields if f[0] is not None]
+    if named and len(named) != len(fields):
+        raise _err(pos, f"{ctor_name}: mix of named and positional fields")
+    if not named:
+        if len(fields) != len(ctor.fields):
+            raise _err(
+                pos,
+                f"{ctor_name} has {len(ctor.fields)} field(s), got {len(fields)}",
+            )
+        return list(fields)
+    by_name = dict(named)
+    if len(by_name) != len(named):
+        raise _err(pos, f"{ctor_name}: duplicate field")
+    known = {f.name for f in ctor.fields}
+    extra = sorted(set(by_name) - known)
+    if extra:
+        raise _err(pos, f"{ctor_name}: unknown field(s) {', '.join(extra)}")
+    out = []
+    for field in ctor.fields:
+        if field.name not in by_name:
+            raise _err(pos, f"{ctor_name}: missing field {field.name!r}")
+        out.append((None, by_name.pop(field.name)))
+    return out
+
+
+def pattern_to_expr(pat: A.Pattern) -> A.Expr:
+    """Convert a head-atom argument pattern into an expression.
+
+    Head arguments are parsed as patterns (sharing the atom grammar) but
+    are semantically expressions over the rule's bound variables.
+    """
+    if isinstance(pat, A.PVar):
+        return A.Var(pat.name, pat.pos)
+    if isinstance(pat, A.PLit):
+        return A.Lit(pat.value, None, pat.pos)
+    if isinstance(pat, A.PExpr):
+        return pat.expr
+    if isinstance(pat, A.PTuple):
+        return A.TupleExpr([pattern_to_expr(p) for p in pat.elems], pat.pos)
+    if isinstance(pat, A.PStruct):
+        return A.StructExpr(
+            pat.ctor,
+            [(name, pattern_to_expr(p)) for name, p in pat.fields],
+            pat.pos,
+        )
+    if isinstance(pat, A.PWildcard):
+        raise _err(pat.pos, "wildcard _ not allowed in a rule head")
+    raise _err(pat.pos, f"unsupported head argument {pat!r}")  # pragma: no cover
+
+
+def check_program(ast: A.Program) -> CheckedProgram:
+    """Typecheck a parsed program; raise :class:`TypeCheckError` on error."""
+    return Checker(ast).check()

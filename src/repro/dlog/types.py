@@ -1,0 +1,376 @@
+"""The control-plane type system.
+
+The paper argues that a *shared, checked* type system across planes is a
+key correctness lever ("all three parts are type-checked together").
+This module defines the types themselves; rule typechecking lives in
+:mod:`repro.dlog.typecheck`, and the cross-plane mapping in
+:mod:`repro.core.typebridge`.
+
+Types are immutable value objects; two structurally equal types compare
+equal.  Named (user-defined) types are represented by :class:`TUser`
+and resolved against a :class:`TypeEnv` that owns the typedefs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TypeCheckError
+
+
+class Type:
+    """Base class of all types; subclasses are value objects."""
+
+    def key(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.key()))
+
+    def __repr__(self):
+        return str(self)
+
+
+class TBool(Type):
+    def key(self):
+        return ()
+
+    def __str__(self):
+        return "bool"
+
+
+class TString(Type):
+    def key(self):
+        return ()
+
+    def __str__(self):
+        return "string"
+
+
+class TBigInt(Type):
+    def key(self):
+        return ()
+
+    def __str__(self):
+        return "bigint"
+
+
+class TFloat(Type):
+    def key(self):
+        return ()
+
+    def __str__(self):
+        return "float"
+
+
+class TBit(Type):
+    """Unsigned integer of a fixed width: ``bit<N>``."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise TypeCheckError(f"bit width must be positive, got {width}")
+        self.width = width
+
+    def key(self):
+        return (self.width,)
+
+    def __str__(self):
+        return f"bit<{self.width}>"
+
+
+class TSigned(Type):
+    """Two's-complement integer of a fixed width: ``signed<N>``."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise TypeCheckError(f"signed width must be positive, got {width}")
+        self.width = width
+
+    def key(self):
+        return (self.width,)
+
+    def __str__(self):
+        return f"signed<{self.width}>"
+
+
+class TTuple(Type):
+    def __init__(self, elems: Sequence[Type]):
+        self.elems = tuple(elems)
+
+    def key(self):
+        return self.elems
+
+    def __str__(self):
+        return "(" + ", ".join(str(e) for e in self.elems) + ")"
+
+
+class TVec(Type):
+    def __init__(self, elem: Type):
+        self.elem = elem
+
+    def key(self):
+        return (self.elem,)
+
+    def __str__(self):
+        return f"Vec<{self.elem}>"
+
+
+class TMap(Type):
+    def __init__(self, kty: Type, vty: Type):
+        self.kty = kty
+        self.vty = vty
+
+    def key(self):
+        return (self.kty, self.vty)
+
+    def __str__(self):
+        return f"Map<{self.kty}, {self.vty}>"
+
+
+class TUser(Type):
+    """A reference to a named typedef, e.g. ``Option<string>``.
+
+    ``args`` instantiates the typedef's type parameters, if any.
+    """
+
+    def __init__(self, name: str, args: Sequence[Type] = ()):
+        self.name = name
+        self.args = tuple(args)
+
+    def key(self):
+        return (self.name, self.args)
+
+    def __str__(self):
+        if self.args:
+            return f"{self.name}<{', '.join(str(a) for a in self.args)}>"
+        return self.name
+
+
+class TVar(Type):
+    """A typedef's type parameter (only inside typedef bodies)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def key(self):
+        return (self.name,)
+
+    def __str__(self):
+        return f"'{self.name}"
+
+
+BOOL = TBool()
+STRING = TString()
+BIGINT = TBigInt()
+FLOAT = TFloat()
+
+
+class Field:
+    """A named, typed struct/constructor field."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type: Type):
+        self.name = name
+        self.type = type
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Field)
+            and self.name == other.name
+            and self.type == other.type
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.type))
+
+    def __repr__(self):
+        return f"{self.name}: {self.type}"
+
+
+class Constructor:
+    """One alternative of a union type (or the sole shape of a struct)."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Sequence[Field]):
+        self.name = name
+        self.fields = tuple(fields)
+
+    def field_index(self, field_name: str) -> int:
+        for i, f in enumerate(self.fields):
+            if f.name == field_name:
+                return i
+        raise TypeCheckError(
+            f"constructor {self.name} has no field {field_name!r}"
+        )
+
+    def __repr__(self):
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"{self.name}{{{inner}}}"
+
+
+class TypeDef:
+    """A named type: one constructor (struct) or several (tagged union)."""
+
+    def __init__(self, name: str, params: Sequence[str], constructors: Sequence[Constructor]):
+        self.name = name
+        self.params = tuple(params)
+        self.constructors = tuple(constructors)
+        self._by_name = {c.name: c for c in self.constructors}
+        if len(self._by_name) != len(self.constructors):
+            raise TypeCheckError(f"duplicate constructor names in typedef {name}")
+
+    @property
+    def is_union(self) -> bool:
+        return len(self.constructors) > 1
+
+    def constructor(self, name: str) -> Constructor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TypeCheckError(
+                f"typedef {self.name} has no constructor {name!r}"
+            ) from None
+
+
+class TypeEnv:
+    """Registry of typedefs; resolves :class:`TUser` references.
+
+    Pre-populated with the built-in ``Option<T>`` union so every program
+    gets ``Some{x}`` / ``None`` for free (mirroring DDlog's stdlib).
+    """
+
+    def __init__(self):
+        self._defs: Dict[str, TypeDef] = {}
+        self._ctor_owner: Dict[str, TypeDef] = {}
+        self.define(
+            TypeDef(
+                "Option",
+                ("A",),
+                [
+                    Constructor("Some", [Field("x", TVar("A"))]),
+                    Constructor("None", []),
+                ],
+            )
+        )
+
+    def define(self, tdef: TypeDef) -> None:
+        if tdef.name in self._defs:
+            raise TypeCheckError(f"duplicate typedef {tdef.name}")
+        for ctor in tdef.constructors:
+            if ctor.name in self._ctor_owner:
+                raise TypeCheckError(
+                    f"constructor {ctor.name} already defined by typedef "
+                    f"{self._ctor_owner[ctor.name].name}"
+                )
+        self._defs[tdef.name] = tdef
+        for ctor in tdef.constructors:
+            self._ctor_owner[ctor.name] = tdef
+
+    def lookup(self, name: str) -> TypeDef:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise TypeCheckError(f"unknown type {name!r}") from None
+
+    def owner_of_constructor(self, ctor_name: str) -> Optional[TypeDef]:
+        return self._ctor_owner.get(ctor_name)
+
+    def typedefs(self) -> List[TypeDef]:
+        return list(self._defs.values())
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, ty: Type) -> Type:
+        """Validate a type (all names known, arities right); return it."""
+        if isinstance(ty, TUser):
+            tdef = self.lookup(ty.name)
+            if len(ty.args) != len(tdef.params):
+                raise TypeCheckError(
+                    f"type {ty.name} expects {len(tdef.params)} parameter(s), "
+                    f"got {len(ty.args)}"
+                )
+            for a in ty.args:
+                self.resolve(a)
+            return ty
+        if isinstance(ty, TTuple):
+            for e in ty.elems:
+                self.resolve(e)
+            return ty
+        if isinstance(ty, TVec):
+            self.resolve(ty.elem)
+            return ty
+        if isinstance(ty, TMap):
+            self.resolve(ty.kty)
+            self.resolve(ty.vty)
+            return ty
+        return ty
+
+    def instantiate(self, ty: TUser) -> List[Constructor]:
+        """Return the constructors of ``ty`` with type params substituted."""
+        tdef = self.lookup(ty.name)
+        subst = dict(zip(tdef.params, ty.args))
+        return [
+            Constructor(
+                c.name,
+                [Field(f.name, substitute(f.type, subst)) for f in c.fields],
+            )
+            for c in tdef.constructors
+        ]
+
+    def constructor_signature(
+        self, ctor_name: str, result_hint: Optional[Type] = None
+    ) -> Tuple[TUser, Constructor]:
+        """Find the typedef owning ``ctor_name``; return (result type, ctor).
+
+        If the typedef is generic, ``result_hint`` (a ``TUser`` of that
+        typedef) supplies the type arguments; otherwise the constructor's
+        fields keep their :class:`TVar` parameters and the rule
+        typechecker unifies them.
+        """
+        tdef = self.owner_of_constructor(ctor_name)
+        if tdef is None:
+            raise TypeCheckError(f"unknown constructor {ctor_name!r}")
+        if (
+            isinstance(result_hint, TUser)
+            and result_hint.name == tdef.name
+            and len(result_hint.args) == len(tdef.params)
+        ):
+            args: Tuple[Type, ...] = result_hint.args
+        else:
+            args = tuple(TVar(p) for p in tdef.params)
+        result = TUser(tdef.name, args)
+        subst = dict(zip(tdef.params, args))
+        ctor = tdef.constructor(ctor_name)
+        ctor = Constructor(
+            ctor.name,
+            [Field(f.name, substitute(f.type, subst)) for f in ctor.fields],
+        )
+        return result, ctor
+
+
+def substitute(ty: Type, subst: Dict[str, Type]) -> Type:
+    """Replace :class:`TVar` occurrences per ``subst``."""
+    if isinstance(ty, TVar):
+        return subst.get(ty.name, ty)
+    if isinstance(ty, TTuple):
+        return TTuple([substitute(e, subst) for e in ty.elems])
+    if isinstance(ty, TVec):
+        return TVec(substitute(ty.elem, subst))
+    if isinstance(ty, TMap):
+        return TMap(substitute(ty.kty, subst), substitute(ty.vty, subst))
+    if isinstance(ty, TUser):
+        return TUser(ty.name, [substitute(a, subst) for a in ty.args])
+    return ty
+
+
+def is_integer(ty: Type) -> bool:
+    return isinstance(ty, (TBit, TSigned, TBigInt))
+
+
+def is_numeric(ty: Type) -> bool:
+    return is_integer(ty) or isinstance(ty, TFloat)

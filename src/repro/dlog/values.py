@@ -1,0 +1,179 @@
+"""Runtime values for the control-plane language.
+
+Every value that can live in a relation must be **immutable and
+hashable**, because relations are weighted sets keyed by the value.  We
+therefore map language types onto Python as follows:
+
+===================  =====================================
+language type        Python representation
+===================  =====================================
+``bool``             :class:`bool`
+``bit<N>``           :class:`int` (non-negative, < 2**N)
+``signed<N>``        :class:`int` (two's-complement range)
+``bigint``           :class:`int`
+``float``            :class:`float`
+``string``           :class:`str`
+tuple                :class:`tuple`
+struct / union       :class:`StructValue`
+``Vec<T>``           :class:`tuple`
+``Map<K,V>``         :class:`MapValue`
+===================  =====================================
+
+Plain Python ints/strings/tuples are used directly where possible so
+that interop with the rest of the stack (database rows, P4 table
+entries) needs no boxing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+
+class StructValue:
+    """An instance of a named struct or union constructor.
+
+    ``constructor`` is the constructor name (for a plain struct it
+    equals the type name); ``fields`` is a tuple of field values in
+    declaration order.  Instances are immutable and hashable.
+    """
+
+    __slots__ = ("constructor", "fields", "_hash")
+
+    def __init__(self, constructor: str, fields: Iterable[object]):
+        object.__setattr__(self, "constructor", constructor)
+        object.__setattr__(self, "fields", tuple(fields))
+        object.__setattr__(self, "_hash", hash((constructor, self.fields)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("StructValue is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, StructValue)
+            and self.constructor == other.constructor
+            and self.fields == other.fields
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"{self.constructor}{{{inner}}}"
+
+
+class MapValue:
+    """An immutable, hashable map.
+
+    Stored as a tuple of ``(key, value)`` pairs sorted by the repr-stable
+    ordering of keys, so two maps with equal contents compare and hash
+    equal regardless of insertion order.
+    """
+
+    __slots__ = ("pairs", "_index", "_hash")
+
+    def __init__(self, pairs: Iterable[Tuple[object, object]] = ()):
+        index = dict(pairs)
+        ordered = tuple(sorted(index.items(), key=_sort_key))
+        object.__setattr__(self, "pairs", ordered)
+        object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_hash", hash(ordered))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("MapValue is immutable")
+
+    def get(self, key, default=None):
+        return self._index.get(key, default)
+
+    def __contains__(self, key):
+        return key in self._index
+
+    def __getitem__(self, key):
+        return self._index[key]
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __len__(self):
+        return len(self.pairs)
+
+    def insert(self, key, value) -> "MapValue":
+        """Return a new map with ``key`` set to ``value``."""
+        items = dict(self._index)
+        items[key] = value
+        return MapValue(items.items())
+
+    def remove(self, key) -> "MapValue":
+        """Return a new map without ``key`` (no-op if absent)."""
+        items = dict(self._index)
+        items.pop(key, None)
+        return MapValue(items.items())
+
+    def __eq__(self, other):
+        return isinstance(other, MapValue) and self.pairs == other.pairs
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self.pairs)
+        return f"map{{{inner}}}"
+
+
+def _sort_key(item):
+    key, _ = item
+    # Sort by type name first so heterogeneous keys (which the type
+    # checker forbids, but defensive code may produce) still order.
+    return (type(key).__name__, repr(key))
+
+
+# Union constructors for Option<T>; declared here so the runtime can
+# build them without going through the interpreter.
+NONE = StructValue("None", ())
+
+
+def some(value) -> StructValue:
+    """Build ``Some{value}`` of the built-in ``Option`` union."""
+    return StructValue("Some", (value,))
+
+
+def is_none(value) -> bool:
+    return isinstance(value, StructValue) and value.constructor == "None"
+
+
+def is_some(value) -> bool:
+    return isinstance(value, StructValue) and value.constructor == "Some"
+
+
+def wrap_bit(value: int, width: int) -> int:
+    """Truncate ``value`` into the unsigned range of ``bit<width>``."""
+    return value & ((1 << width) - 1)
+
+
+def wrap_signed(value: int, width: int) -> int:
+    """Truncate ``value`` into the two's-complement range of ``signed<width>``."""
+    mask = (1 << width) - 1
+    value &= mask
+    sign = 1 << (width - 1)
+    return value - (1 << width) if value & sign else value
+
+
+def format_value(value) -> str:
+    """Render a runtime value the way the language's `to_string` does."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, tuple):
+        return "(" + ", ".join(format_value(v) for v in value) + ")"
+    if isinstance(value, StructValue):
+        if not value.fields:
+            return value.constructor
+        inner = ", ".join(format_value(f) for f in value.fields)
+        return f"{value.constructor}{{{inner}}}"
+    if isinstance(value, MapValue):
+        inner = ", ".join(
+            f"{format_value(k)}: {format_value(v)}" for k, v in value.pairs
+        )
+        return f"[{inner}]"
+    return repr(value) if isinstance(value, float) else str(value)

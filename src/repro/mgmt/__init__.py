@@ -1,0 +1,37 @@
+"""The management plane: an OVSDB-style transactional database.
+
+The paper's management plane is OVSDB (RFC 7047): a schema'd database
+whose defining feature for Nerpa is *monitorability* — a client can
+subscribe and receive the database's ongoing series of changes, grouped
+into transactions.  This package reproduces that contract:
+
+* :mod:`repro.mgmt.schema` — database schemas (tables, typed columns,
+  optional/set/map columns) with RFC-style JSON round-tripping;
+* :mod:`repro.mgmt.database` — the row store with atomic multi-operation
+  transactions;
+* :mod:`repro.mgmt.transact` — the operation set (insert, select,
+  update, mutate, delete, wait, abort);
+* :mod:`repro.mgmt.monitor` — monitors delivering an initial snapshot
+  followed by per-transaction update batches;
+* :mod:`repro.mgmt.jsonrpc`, :mod:`repro.mgmt.server`,
+  :mod:`repro.mgmt.client` — a length-prefixed JSON-RPC transport over
+  asyncio TCP, plus an in-process loopback for tests and benchmarks;
+* :mod:`repro.mgmt.persist` — snapshot/journal persistence.
+"""
+
+from repro.mgmt.schema import ColumnSchema, ColumnType, DatabaseSchema, TableSchema
+from repro.mgmt.database import Database, Row
+from repro.mgmt.monitor import Monitor, MonitorSpec, RowUpdate, TableUpdates
+
+__all__ = [
+    "ColumnSchema",
+    "ColumnType",
+    "Database",
+    "DatabaseSchema",
+    "Monitor",
+    "MonitorSpec",
+    "Row",
+    "RowUpdate",
+    "TableSchema",
+    "TableUpdates",
+]

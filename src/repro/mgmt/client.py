@@ -1,0 +1,189 @@
+"""Blocking client for the management protocol.
+
+The client owns a reader thread: responses are matched to calls by id
+and handed back to the blocked caller; ``update`` notifications are
+decoded into :class:`~repro.mgmt.monitor.TableUpdates` and dispatched to
+the registered monitor callback.  This keeps consumers (the Nerpa
+controller, tests, benchmarks) free of event-loop plumbing.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.errors import ProtocolError, TransactionError
+from repro.mgmt.jsonrpc import (
+    NotificationDispatcher,
+    classify,
+    make_request,
+    recv_message,
+    send_message,
+)
+from repro.mgmt.monitor import RowUpdate, TableUpdates
+from repro.mgmt.schema import DatabaseSchema
+from repro.mgmt.values import row_from_wire
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+class _PendingCall:
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+
+
+class ManagementClient:
+    """Connects to a :class:`~repro.mgmt.server.ManagementServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = _DEFAULT_TIMEOUT):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(None)
+        self.timeout = timeout
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _PendingCall] = {}
+        self._pending_lock = threading.Lock()
+        self._next_id = 0
+        self._monitor_callbacks: Dict[str, Callable[[TableUpdates], None]] = {}
+        self._schema: Optional[DatabaseSchema] = None
+        self._closed = False
+        self._dispatcher = NotificationDispatcher("mgmt-client-dispatch")
+        self._reader = threading.Thread(
+            target=self._read_loop, name="mgmt-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def call(self, method: str, params) -> object:
+        with self._pending_lock:
+            self._next_id += 1
+            request_id = self._next_id
+            pending = _PendingCall()
+            self._pending[request_id] = pending
+        with self._send_lock:
+            send_message(self.sock, make_request(method, params, request_id))
+        if not pending.event.wait(self.timeout):
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise ProtocolError(f"timeout waiting for {method} response")
+        if pending.error is not None:
+            raise TransactionError(str(pending.error))
+        return pending.result
+
+    def _read_loop(self) -> None:
+        try:
+            while not self._closed:
+                message = recv_message(self.sock)
+                if message is None:
+                    break
+                kind = classify(message)
+                if kind == "response":
+                    with self._pending_lock:
+                        pending = self._pending.pop(message["id"], None)
+                    if pending is not None:
+                        pending.result = message.get("result")
+                        pending.error = message.get("error")
+                        pending.event.set()
+                elif kind == "notification":
+                    self._handle_notification(message)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            self._fail_all_pending()
+
+    def _fail_all_pending(self) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for p in pending:
+            p.error = "connection closed"
+            p.event.set()
+
+    def _handle_notification(self, message: dict) -> None:
+        if message.get("method") != "update":
+            return
+        monitor_id, wire_updates = message["params"]
+        callback = self._monitor_callbacks.get(monitor_id)
+        if callback is not None:
+            # Decode on the reader thread (cheap, keeps ordering), run
+            # the callback on the dispatcher so it may call back into
+            # this client without deadlocking.
+            updates = self._decode_updates(wire_updates)
+            self._dispatcher.submit(callback, updates)
+
+    # -- API ------------------------------------------------------------------
+
+    def get_schema(self) -> DatabaseSchema:
+        if self._schema is None:
+            self._schema = DatabaseSchema.from_json(
+                self.call("get_schema", [])
+            )
+        return self._schema
+
+    def echo(self, payload) -> object:
+        return self.call("echo", payload)
+
+    def transact(self, operations) -> list:
+        return self.call("transact", list(operations))
+
+    def monitor(
+        self,
+        tables: Dict[str, Optional[list]],
+        callback: Callable[[TableUpdates], None],
+    ):
+        """Subscribe; returns ``(monitor_id, initial TableUpdates)``.
+
+        ``callback`` runs on the reader thread — keep it quick (the
+        Nerpa controller just enqueues).
+        """
+        result = self.call("monitor", [tables])
+        monitor_id = result["monitor_id"]
+        self._monitor_callbacks[monitor_id] = callback
+        return monitor_id, self._decode_updates(result["initial"])
+
+    def monitor_cancel(self, monitor_id: str) -> None:
+        self._monitor_callbacks.pop(monitor_id, None)
+        self.call("monitor_cancel", [monitor_id])
+
+    def _decode_updates(self, wire: dict) -> TableUpdates:
+        schema = self.get_schema()
+        updates = TableUpdates()
+        for table, rows in wire.items():
+            tschema = schema.table(table)
+            for uuid, entry in rows.items():
+                old = (
+                    row_from_wire(tschema, entry["old"])
+                    if "old" in entry
+                    else None
+                )
+                new = (
+                    row_from_wire(tschema, entry["new"])
+                    if "new" in entry
+                    else None
+                )
+                updates.add(table, uuid, RowUpdate(old, new))
+        return updates
+
+    def close(self) -> None:
+        self._closed = True
+        self._dispatcher.close()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ManagementClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,262 @@
+"""The management-plane row store with atomic transactions.
+
+A :class:`Database` holds rows per table, keyed by UUID.  All writes go
+through :meth:`Database.transact`, which executes a list of operations
+atomically (all-or-nothing) against a staged copy, enforces schema
+constraints and unique indexes, commits, and notifies monitors with the
+transaction's net row changes.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid as uuidlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SchemaError, TransactionError
+from repro.mgmt.monitor import Monitor, MonitorSpec, RowUpdate, TableUpdates
+from repro.mgmt.schema import DatabaseSchema
+from repro.mgmt.values import check_value
+
+
+class Row:
+    """A committed row: its uuid plus column values (read-only view)."""
+
+    __slots__ = ("uuid", "values")
+
+    def __init__(self, uuid: str, values: dict):
+        self.uuid = uuid
+        self.values = values
+
+    def __getitem__(self, column: str):
+        if column == "_uuid":
+            return self.uuid
+        return self.values[column]
+
+    def get(self, column: str, default=None):
+        if column == "_uuid":
+            return self.uuid
+        return self.values.get(column, default)
+
+    def __repr__(self):
+        return f"Row({self.uuid[:8]}, {self.values!r})"
+
+
+class _Staged:
+    """Copy-on-write view of the database during one transaction."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        # table -> uuid -> row dict (None marks deletion)
+        self.changes: Dict[str, Dict[str, Optional[dict]]] = {}
+        self.named_uuids: Dict[str, str] = {}
+
+    def rows(self, table: str) -> Dict[str, dict]:
+        base = dict(self.db._tables[table])
+        for uuid, row in self.changes.get(table, {}).items():
+            if row is None:
+                base.pop(uuid, None)
+            else:
+                base[uuid] = row
+        return base
+
+    def get(self, table: str, uuid: str) -> Optional[dict]:
+        staged = self.changes.get(table, {})
+        if uuid in staged:
+            return staged[uuid]
+        return self.db._tables[table].get(uuid)
+
+    def put(self, table: str, uuid: str, row: dict) -> None:
+        self.changes.setdefault(table, {})[uuid] = row
+
+    def delete(self, table: str, uuid: str) -> None:
+        self.changes.setdefault(table, {})[uuid] = None
+
+
+class Database:
+    """An in-memory, monitorable, transactional database."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        uuid_factory: Optional[Callable[[], str]] = None,
+    ):
+        self.schema = schema
+        self._tables: Dict[str, Dict[str, dict]] = {
+            name: {} for name in schema.tables
+        }
+        self._monitors: List[Monitor] = []
+        self._uuid_factory = uuid_factory or (lambda: uuidlib.uuid4().hex)
+        self._lock = threading.RLock()
+        self.txn_counter = 0
+
+    # -- reads ---------------------------------------------------------------
+
+    def tables(self) -> List[str]:
+        return list(self._tables)
+
+    def rows(self, table: str) -> List[Row]:
+        self.schema.table(table)
+        with self._lock:
+            return [Row(u, dict(v)) for u, v in self._tables[table].items()]
+
+    def get_row(self, table: str, uuid: str) -> Optional[Row]:
+        self.schema.table(table)
+        with self._lock:
+            values = self._tables[table].get(uuid)
+            return Row(uuid, dict(values)) if values is not None else None
+
+    def count(self, table: str) -> int:
+        return len(self._tables[table])
+
+    # -- transactions -------------------------------------------------------------
+
+    def transact(self, operations: Sequence[dict]) -> List[dict]:
+        """Execute operations atomically; returns one result per op.
+
+        Raises :class:`TransactionError` (nothing committed) on any
+        failure, including an explicit ``abort`` op or an unsatisfied
+        ``wait``.
+        """
+        from repro.mgmt.transact import execute_operations
+
+        with self._lock:
+            staged = _Staged(self)
+            results = execute_operations(self, staged, operations)
+            self._check_constraints(staged)
+            updates = self._commit(staged)
+        self._notify(updates)
+        return results
+
+    def new_uuid(self) -> str:
+        return self._uuid_factory()
+
+    def validate_row(
+        self, table: str, values: dict, partial: bool = False
+    ) -> dict:
+        """Validate (and normalize) column values for a table.
+
+        ``partial=True`` allows a subset of columns (updates); otherwise
+        missing columns are filled with schema defaults.
+        """
+        tschema = self.schema.table(table)
+        out = {}
+        for col, value in values.items():
+            if col == "_uuid":
+                raise TransactionError("_uuid cannot be written")
+            try:
+                cschema = tschema.column(col)
+                out[col] = check_value(cschema.type, value)
+            except SchemaError as exc:
+                raise TransactionError(f"{table}.{col}: {exc}") from exc
+        if not partial:
+            for col, cschema in tschema.columns.items():
+                if col not in out:
+                    out[col] = cschema.type.default()
+        return out
+
+    def _check_constraints(self, staged: _Staged) -> None:
+        for table, changes in staged.changes.items():
+            tschema = self.schema.table(table)
+            if not tschema.indexes or not any(
+                row is not None for row in changes.values()
+            ):
+                continue
+            rows = staged.rows(table)
+            for index in tschema.indexes:
+                seen: Dict[tuple, str] = {}
+                for uuid, row in rows.items():
+                    key = tuple(_freeze(row[c]) for c in index)
+                    other = seen.get(key)
+                    if other is not None:
+                        raise TransactionError(
+                            f"{table}: unique index {index} violated by rows "
+                            f"{other[:8]} and {uuid[:8]}"
+                        )
+                    seen[key] = uuid
+
+    def _commit(self, staged: _Staged) -> TableUpdates:
+        updates = TableUpdates()
+        for table, changes in staged.changes.items():
+            store = self._tables[table]
+            for uuid, row in changes.items():
+                old = store.get(uuid)
+                if row is None:
+                    if old is not None:
+                        del store[uuid]
+                        updates.add(table, uuid, RowUpdate(dict(old), None))
+                elif old is None:
+                    store[uuid] = row
+                    updates.add(table, uuid, RowUpdate(None, dict(row)))
+                else:
+                    changed_old = {
+                        c: v for c, v in old.items() if row.get(c) != v
+                    }
+                    if changed_old:
+                        store[uuid] = row
+                        updates.add(
+                            table, uuid, RowUpdate(changed_old, dict(row))
+                        )
+        if updates:
+            self.txn_counter += 1
+        return updates
+
+    # -- monitors --------------------------------------------------------------------
+
+    def add_monitor(
+        self,
+        spec: MonitorSpec,
+        callback: Callable[[TableUpdates], None],
+    ) -> tuple:
+        """Register a monitor; returns ``(monitor, initial_snapshot)``.
+
+        The snapshot is a :class:`TableUpdates` containing every current
+        row as an insert, projected to the monitored columns.
+        """
+        for table in spec.tables:
+            self.schema.table(table)
+        monitor = Monitor(spec, callback)
+        with self._lock:
+            initial = TableUpdates()
+            for table in spec.tables:
+                for uuid, row in self._tables[table].items():
+                    initial.add(
+                        table, uuid, RowUpdate(None, spec.project(table, row))
+                    )
+            self._monitors.append(monitor)
+        return monitor, initial
+
+    def remove_monitor(self, monitor: Monitor) -> None:
+        with self._lock:
+            if monitor in self._monitors:
+                self._monitors.remove(monitor)
+
+    def _notify(self, updates: TableUpdates) -> None:
+        if not updates:
+            return
+        for monitor in list(self._monitors):
+            filtered = TableUpdates()
+            for table, rows in updates:
+                if not monitor.spec.watches(table):
+                    continue
+                for uuid, update in rows.items():
+                    old = (
+                        monitor.spec.project(table, update.old)
+                        if update.old is not None
+                        else None
+                    )
+                    new = (
+                        monitor.spec.project(table, update.new)
+                        if update.new is not None
+                        else None
+                    )
+                    if update.kind == "modify" and not old:
+                        continue  # no monitored column changed
+                    filtered.add(table, uuid, RowUpdate(old, new))
+            monitor.notify(filtered)
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value

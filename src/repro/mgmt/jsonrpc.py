@@ -1,0 +1,160 @@
+"""Length-prefixed JSON-RPC framing shared by every wire protocol here.
+
+Both the management protocol and the P4Runtime-style API exchange JSON
+messages over a stream transport.  Each frame is a 4-byte big-endian
+length followed by that many bytes of UTF-8 JSON.  Length-prefixing
+(rather than newline-delimiting) keeps payloads free to contain any
+text and makes framing errors loud.
+
+Message shapes (JSON-RPC 1.0 flavor, like OVSDB):
+
+* request:       ``{"method": m, "params": [...], "id": n}``
+* response:      ``{"result": r, "error": null, "id": n}``
+* error:         ``{"result": null, "error": {...}, "id": n}``
+* notification:  ``{"method": m, "params": [...], "id": null}``
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolError
+
+MAX_FRAME = 64 * 1024 * 1024  # defensive bound against corrupt lengths
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize a message into one wire frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame too large ({len(payload)} bytes)")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frames(buffer: bytes) -> Tuple[list, bytes]:
+    """Extract all complete frames from ``buffer``.
+
+    Returns ``(messages, remainder)``; the remainder is the trailing
+    partial frame (possibly empty) to be prepended to the next read.
+    """
+    messages = []
+    offset = 0
+    n = len(buffer)
+    while n - offset >= _HEADER.size:
+        (length,) = _HEADER.unpack_from(buffer, offset)
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame length {length} exceeds maximum")
+        if n - offset - _HEADER.size < length:
+            break
+        start = offset + _HEADER.size
+        payload = buffer[start : start + length]
+        try:
+            messages.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"bad JSON frame: {exc}") from exc
+        offset = start + length
+    return messages, buffer[offset:]
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Blocking read of exactly one frame; None on orderly EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds maximum")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None if remaining == count and not chunks else None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def make_request(method: str, params, request_id: int) -> dict:
+    return {"method": method, "params": params, "id": request_id}
+
+
+def make_response(result, request_id) -> dict:
+    return {"result": result, "error": None, "id": request_id}
+
+
+def make_error(error, request_id) -> dict:
+    return {"result": None, "error": error, "id": request_id}
+
+
+def make_notification(method: str, params) -> dict:
+    return {"method": method, "params": params, "id": None}
+
+
+class NotificationDispatcher:
+    """Runs notification callbacks off the reader thread.
+
+    A client's reader thread must never execute user callbacks directly:
+    a callback that issues a blocking call on the same client would
+    deadlock waiting for a response only the reader can receive.  Both
+    protocol clients push notifications through one of these instead.
+    """
+
+    def __init__(self, name: str = "rpc-dispatch"):
+        import queue
+        import threading
+
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, fn, *args) -> None:
+        if not self._closed:
+            self._queue.put((fn, args))
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, args = item
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 - callbacks must not kill us
+                pass
+
+    def close(self) -> None:
+        self._closed = True
+        self._queue.put(None)
+
+
+def classify(message: dict) -> str:
+    """'request' | 'notification' | 'response' (raises on junk)."""
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message is not an object: {message!r}")
+    if "method" in message:
+        return "notification" if message.get("id") is None else "request"
+    if "id" in message:
+        return "response"
+    raise ProtocolError(f"unclassifiable message: {message!r}")

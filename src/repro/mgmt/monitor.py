@@ -1,0 +1,123 @@
+"""Monitors: the change-streaming half of the management plane.
+
+A monitor subscribes to a set of tables (optionally restricted to
+columns).  It receives one :class:`TableUpdates` for the initial
+database contents and then one per committed transaction, mirroring
+OVSDB's ``monitor`` / ``update`` flow — the mechanism the Nerpa
+controller uses to learn about configuration changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+class RowUpdate:
+    """The change to one row.
+
+    * insert: ``old is None``, ``new`` is the full row;
+    * delete: ``old`` is the full prior row, ``new is None``;
+    * modify: ``old`` holds the prior values of changed columns only,
+      ``new`` the full new row.
+    """
+
+    __slots__ = ("old", "new")
+
+    def __init__(self, old: Optional[dict], new: Optional[dict]):
+        self.old = old
+        self.new = new
+
+    @property
+    def kind(self) -> str:
+        if self.old is None:
+            return "insert"
+        if self.new is None:
+            return "delete"
+        return "modify"
+
+    def __repr__(self):
+        return f"RowUpdate({self.kind})"
+
+
+class TableUpdates:
+    """Per-transaction updates: ``table -> row uuid -> RowUpdate``."""
+
+    def __init__(self, updates: Optional[Dict[str, Dict[str, RowUpdate]]] = None):
+        self.updates: Dict[str, Dict[str, RowUpdate]] = updates or {}
+
+    def table(self, name: str) -> Dict[str, RowUpdate]:
+        return self.updates.get(name, {})
+
+    def add(self, table: str, uuid: str, update: RowUpdate) -> None:
+        self.updates.setdefault(table, {})[uuid] = update
+
+    def __bool__(self):
+        return any(self.updates.values())
+
+    def __iter__(self):
+        return iter(self.updates.items())
+
+    def __repr__(self):
+        counts = {t: len(rows) for t, rows in self.updates.items()}
+        return f"TableUpdates({counts})"
+
+
+class MonitorSpec:
+    """What a monitor watches: ``{table: columns or None (= all)}``."""
+
+    def __init__(self, tables: Dict[str, Optional[Sequence[str]]]):
+        self.tables = {
+            name: (list(cols) if cols is not None else None)
+            for name, cols in tables.items()
+        }
+
+    @classmethod
+    def all_tables(cls, schema) -> "MonitorSpec":
+        return cls({name: None for name in schema.tables})
+
+    def watches(self, table: str) -> bool:
+        return table in self.tables
+
+    def project(self, table: str, row: dict) -> dict:
+        cols = self.tables.get(table)
+        if cols is None:
+            return dict(row)
+        return {c: row[c] for c in cols if c in row}
+
+
+class Monitor:
+    """A registered subscription; the database invokes :meth:`notify`."""
+
+    _next_id = 0
+
+    def __init__(self, spec: MonitorSpec, callback: Callable[[TableUpdates], None]):
+        self.spec = spec
+        self.callback = callback
+        Monitor._next_id += 1
+        self.monitor_id = f"monitor-{Monitor._next_id}"
+        self.delivered = 0
+
+    def notify(self, updates: TableUpdates) -> None:
+        if updates:
+            self.delivered += 1
+            self.callback(updates)
+
+
+def replay(initial: TableUpdates, updates: List[TableUpdates]) -> Dict[str, Dict[str, dict]]:
+    """Reconstruct table contents from a monitor stream (test helper).
+
+    Returns ``{table: {uuid: row}}``; used to verify that a monitor's
+    update stream is a faithful replica of the database.
+    """
+    state: Dict[str, Dict[str, dict]] = {}
+    for batch in [initial] + updates:
+        for table, rows in batch:
+            tstate = state.setdefault(table, {})
+            for uuid, update in rows.items():
+                if update.new is None:
+                    tstate.pop(uuid, None)
+                else:
+                    merged = dict(tstate.get(uuid, {}))
+                    merged.update(update.new)
+                    tstate[uuid] = merged
+    return state

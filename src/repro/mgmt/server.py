@@ -1,0 +1,238 @@
+"""TCP server exposing a management database.
+
+Methods (mirroring OVSDB's protocol surface):
+
+* ``get_schema []`` — the database schema JSON;
+* ``transact [op, ...]`` — atomic operation list; rows in results are
+  wire-encoded;
+* ``monitor [{table: columns-or-null, ...}]`` — returns the initial
+  snapshot and subscribes the connection to ``update`` notifications;
+* ``monitor_cancel [monitor-id]``;
+* ``echo [...]`` — returns its params (keepalive).
+
+Update notifications: ``{"method": "update", "params": [monitor_id,
+{table: {uuid: {"old": {...}?, "new": {...}?}}}], "id": null}``.
+
+The server is threaded (one reader thread per connection) so it can run
+alongside the synchronous controller without an event loop;
+``ManagementServer.start()`` returns once the listening socket is bound.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ReproError
+from repro.mgmt.database import Database
+from repro.mgmt.jsonrpc import (
+    classify,
+    make_error,
+    make_notification,
+    make_response,
+    recv_message,
+    send_message,
+)
+from repro.mgmt.monitor import Monitor, MonitorSpec, TableUpdates
+from repro.mgmt.values import row_to_wire
+
+
+def updates_to_wire(db: Database, updates: TableUpdates) -> dict:
+    out: Dict[str, Dict[str, dict]] = {}
+    for table, rows in updates:
+        tschema = db.schema.table(table)
+        tout = out.setdefault(table, {})
+        for uuid, update in rows.items():
+            entry = {}
+            if update.old is not None:
+                entry["old"] = row_to_wire(tschema, update.old)
+            if update.new is not None:
+                entry["new"] = row_to_wire(tschema, update.new)
+            tout[uuid] = entry
+    return out
+
+
+class _Connection:
+    def __init__(self, server: "ManagementServer", sock: socket.socket, peer):
+        self.server = server
+        self.sock = sock
+        self.peer = peer
+        self.monitors: Dict[str, Monitor] = {}
+        self.send_lock = threading.Lock()
+        self.alive = True
+
+    def send(self, message: dict) -> None:
+        with self.send_lock:
+            try:
+                send_message(self.sock, message)
+            except OSError:
+                self.alive = False
+
+    def close(self) -> None:
+        self.alive = False
+        for monitor in self.monitors.values():
+            self.server.db.remove_monitor(monitor)
+        self.monitors.clear()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def serve(self) -> None:
+        try:
+            while self.alive:
+                message = recv_message(self.sock)
+                if message is None:
+                    break
+                self._dispatch(message)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            self.close()
+            self.server._forget(self)
+
+    def _dispatch(self, message: dict) -> None:
+        kind = classify(message)
+        if kind != "request":
+            return  # this server sends but never awaits notifications
+        method = message["method"]
+        params = message.get("params", [])
+        request_id = message["id"]
+        try:
+            result = self._handle(method, params)
+            self.send(make_response(result, request_id))
+        except ReproError as exc:
+            self.send(make_error({"error": str(exc)}, request_id))
+        except Exception as exc:  # noqa: BLE001 - report, don't kill conn
+            self.send(make_error({"error": f"internal: {exc}"}, request_id))
+
+    def _handle(self, method: str, params):
+        db = self.server.db
+        if method == "echo":
+            return params
+        if method == "get_schema":
+            return db.schema.to_json()
+        if method == "transact":
+            results = db.transact(params)
+            return [self._encode_result(r) for r in results]
+        if method == "monitor":
+            if len(params) != 1 or not isinstance(params[0], dict):
+                raise ProtocolError("monitor expects [spec]")
+            spec = MonitorSpec(
+                {t: cols for t, cols in params[0].items()}
+            )
+            # The monitor id is only known after registration; the
+            # notification closure reads it through a cell.
+            id_cell: List[Optional[str]] = [None]
+            monitor, initial = db.add_monitor(
+                spec, self._push_updates_factory(id_cell)
+            )
+            id_cell[0] = monitor.monitor_id
+            self.monitors[monitor.monitor_id] = monitor
+            return {
+                "monitor_id": monitor.monitor_id,
+                "initial": updates_to_wire(db, initial),
+            }
+        if method == "monitor_cancel":
+            (monitor_id,) = params
+            monitor = self.monitors.pop(monitor_id, None)
+            if monitor is not None:
+                db.remove_monitor(monitor)
+            return {}
+        raise ProtocolError(f"unknown method {method!r}")
+
+    def _encode_result(self, result: dict) -> dict:
+        if "rows" in result:
+            encoded = []
+            for row in result["rows"]:
+                out = {}
+                for col, value in row.items():
+                    out[col] = value  # rows from select are already plain
+                encoded.append(out)
+            return {"rows": encoded}
+        return result
+
+    def _push_updates_factory(self, id_cell: List[Optional[str]]):
+        def push(updates: TableUpdates) -> None:
+            if not self.alive:
+                return
+            self.send(
+                make_notification(
+                    "update",
+                    [id_cell[0], updates_to_wire(self.server.db, updates)],
+                )
+            )
+
+        return push
+
+
+class ManagementServer:
+    """Serves one :class:`Database` over TCP."""
+
+    def __init__(self, db: Database, host: str = "127.0.0.1", port: int = 0):
+        self.db = db
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._connections: List[_Connection] = []
+        self._conn_lock = threading.Lock()
+        self._running = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "ManagementServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        self._listener = listener
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="mgmt-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(self, sock, peer)
+            with self._conn_lock:
+                self._connections.append(conn)
+            threading.Thread(
+                target=conn.serve, name=f"mgmt-conn-{peer}", daemon=True
+            ).start()
+
+    def _forget(self, conn: _Connection) -> None:
+        with self._conn_lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "ManagementServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

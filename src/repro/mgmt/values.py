@@ -1,0 +1,169 @@
+"""Value model and wire encoding for the management database.
+
+In-memory representation per column type:
+
+==============  =========================
+column type     Python value
+==============  =========================
+integer         int
+real            float
+boolean         bool
+string          str
+uuid            str (hex uuid)
+optional T      T or None
+set of T        frozenset of T
+map of K->V     dict (copied on read)
+==============  =========================
+
+The wire (JSON) encoding follows RFC 7047 §5.1: sets are
+``["set", [...]]``, maps ``["map", [[k, v], ...]]``, uuids
+``["uuid", "..."]``, and an absent optional is the empty set.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.mgmt.schema import ColumnType
+
+_PY_ATOMS = {
+    "integer": int,
+    "real": float,
+    "boolean": bool,
+    "string": str,
+    "uuid": str,
+}
+
+
+def check_atom(atom_type: str, value) -> None:
+    expected = _PY_ATOMS[atom_type]
+    if atom_type == "integer" and isinstance(value, bool):
+        raise SchemaError(f"expected integer, got bool {value!r}")
+    if not isinstance(value, expected):
+        raise SchemaError(f"expected {atom_type}, got {value!r}")
+
+
+def check_value(ctype: ColumnType, value) -> object:
+    """Validate and normalize an in-memory value for a column."""
+    if ctype.is_scalar:
+        check_atom(ctype.key, value)
+        return value
+    if ctype.is_optional:
+        if value is None:
+            return None
+        check_atom(ctype.key, value)
+        return value
+    if ctype.is_map:
+        if not isinstance(value, dict):
+            raise SchemaError(f"expected map, got {value!r}")
+        for k, v in value.items():
+            check_atom(ctype.key, k)
+            check_atom(ctype.value, v)
+        if ctype.max != "unlimited" and len(value) > ctype.max:
+            raise SchemaError(f"map exceeds max size {ctype.max}")
+        return dict(value)
+    # set
+    if isinstance(value, (set, frozenset, list, tuple)):
+        items = frozenset(value)
+    else:
+        # A bare scalar is accepted as a singleton set (RFC behaviour).
+        items = frozenset([value])
+    for item in items:
+        check_atom(ctype.key, item)
+    if ctype.max != "unlimited" and len(items) > ctype.max:
+        raise SchemaError(f"set exceeds max size {ctype.max}")
+    if len(items) < ctype.min:
+        raise SchemaError(f"set below min size {ctype.min}")
+    return items
+
+
+def encode_atom(atom_type: str, value):
+    if atom_type == "uuid":
+        return ["uuid", value]
+    return value
+
+
+def decode_atom(atom_type: str, data):
+    if atom_type == "uuid":
+        if (
+            isinstance(data, list)
+            and len(data) == 2
+            and data[0] == "uuid"
+            and isinstance(data[1], str)
+        ):
+            return data[1]
+        if isinstance(data, str):
+            return data
+        raise SchemaError(f"bad uuid encoding {data!r}")
+    check_atom(atom_type, data)
+    return data
+
+
+def encode_value(ctype: ColumnType, value):
+    """In-memory value -> JSON-compatible wire value."""
+    if ctype.is_scalar:
+        return encode_atom(ctype.key, value)
+    if ctype.is_optional:
+        if value is None:
+            return ["set", []]
+        return encode_atom(ctype.key, value)
+    if ctype.is_map:
+        return [
+            "map",
+            sorted(
+                [[encode_atom(ctype.key, k), encode_atom(ctype.value, v)]
+                 for k, v in value.items()],
+                key=repr,
+            ),
+        ]
+    return ["set", sorted((encode_atom(ctype.key, v) for v in value), key=repr)]
+
+
+def decode_value(ctype: ColumnType, data):
+    """JSON wire value -> validated in-memory value."""
+    if ctype.is_map:
+        if isinstance(data, list) and len(data) == 2 and data[0] == "map":
+            out = {}
+            for pair in data[1]:
+                if not isinstance(pair, list) or len(pair) != 2:
+                    raise SchemaError(f"bad map pair {pair!r}")
+                out[decode_atom(ctype.key, pair[0])] = decode_atom(
+                    ctype.value, pair[1]
+                )
+            return check_value(ctype, out)
+        if isinstance(data, dict):
+            return check_value(ctype, data)
+        raise SchemaError(f"bad map encoding {data!r}")
+    if isinstance(data, list) and len(data) == 2 and data[0] == "set":
+        items = [decode_atom(ctype.key, item) for item in data[1]]
+        if ctype.is_optional:
+            if len(items) > 1:
+                raise SchemaError("optional column given multiple values")
+            return items[0] if items else None
+        if ctype.is_scalar:
+            if len(items) != 1:
+                raise SchemaError("scalar column given a non-singleton set")
+            return items[0]
+        return check_value(ctype, items)
+    # Bare atom.
+    return check_value(ctype, decode_atom(ctype.key, data))
+
+
+def row_to_wire(schema_table, row: dict) -> dict:
+    """Encode a row's columns per the table schema (skips None deltas)."""
+    out = {}
+    for col, value in row.items():
+        if col == "_uuid":
+            out[col] = ["uuid", value]
+        else:
+            out[col] = encode_value(schema_table.column(col).type, value)
+    return out
+
+
+def row_from_wire(schema_table, data: dict) -> dict:
+    out = {}
+    for col, value in data.items():
+        if col == "_uuid":
+            out[col] = decode_atom("uuid", value)
+        else:
+            out[col] = decode_value(schema_table.column(col).type, value)
+    return out

@@ -1,0 +1,24 @@
+"""The data plane: a P4-16 subset compiler and behavioral simulator.
+
+The paper programs its data plane in P4 and executes it on BMv2 (the P4
+behavioral model).  This package reproduces that layer:
+
+* :mod:`repro.p4.parser` — a parser for a useful P4-16 subset (headers,
+  structs, parser state machines, controls with match-action tables,
+  actions, digests);
+* :mod:`repro.p4.ir` / :mod:`repro.p4.p4info` — the compiled pipeline
+  and its runtime metadata (what P4Runtime calls P4Info);
+* :mod:`repro.p4.packet` — bit-exact packet encoding/decoding;
+* :mod:`repro.p4.tables` — match-action table state (exact, LPM,
+  ternary with priorities);
+* :mod:`repro.p4.simulator` — a BMv2-like behavioral model executing
+  the pipeline on real packet bytes, with multicast groups and digests;
+* :mod:`repro.p4.openflow` — the ``p4c-of`` analog: compile a pipeline
+  to OpenFlow-style flow fragments and run them on a flow-table switch.
+"""
+
+from repro.p4.parser import parse_p4
+from repro.p4.ir import compile_p4
+from repro.p4.simulator import Simulator
+
+__all__ = ["Simulator", "compile_p4", "parse_p4"]

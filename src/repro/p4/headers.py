@@ -1,0 +1,147 @@
+"""Standard header codecs for tests, workloads, and examples.
+
+These helpers build and dissect common frames (Ethernet, 802.1Q,
+IPv4, ARP, UDP) as raw bytes, independently of any P4 program — the
+behavioral simulator parses packets with the *program's* parser; these
+are for constructing realistic inputs and asserting on outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.p4.packet import BitReader, BitWriter
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+
+def mac_to_int(mac: str) -> int:
+    """``"aa:bb:cc:dd:ee:ff"`` -> 48-bit integer."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"bad MAC {mac!r}")
+    return int("".join(parts), 16)
+
+
+def int_to_mac(value: int) -> str:
+    raw = f"{value:012x}"
+    return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+
+def ip_to_int(ip: str) -> int:
+    parts = [int(p) for p in ip.split(".")]
+    if len(parts) != 4 or any(not 0 <= p <= 255 for p in parts):
+        raise ValueError(f"bad IPv4 address {ip!r}")
+    return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+
+
+def int_to_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ethernet(
+    dst: str,
+    src: str,
+    ethertype: int = ETHERTYPE_IPV4,
+    payload: bytes = b"",
+    vlan: Optional[int] = None,
+    pcp: int = 0,
+) -> bytes:
+    """Build an Ethernet frame, optionally 802.1Q tagged."""
+    w = BitWriter()
+    w.write(mac_to_int(dst), 48)
+    w.write(mac_to_int(src), 48)
+    if vlan is not None:
+        w.write(ETHERTYPE_VLAN, 16)
+        w.write(pcp, 3)
+        w.write(0, 1)  # DEI
+        w.write(vlan, 12)
+    w.write(ethertype, 16)
+    frame = w.to_bytes() + payload
+    return frame
+
+
+def ipv4(
+    src: str,
+    dst: str,
+    proto: int = IPPROTO_UDP,
+    payload: bytes = b"",
+    ttl: int = 64,
+) -> bytes:
+    """Build an IPv4 packet (header checksum computed)."""
+    total_len = 20 + len(payload)
+    w = BitWriter()
+    w.write(4, 4)  # version
+    w.write(5, 4)  # IHL
+    w.write(0, 8)  # DSCP/ECN
+    w.write(total_len, 16)
+    w.write(0, 16)  # identification
+    w.write(0, 3)  # flags
+    w.write(0, 13)  # fragment offset
+    w.write(ttl, 8)
+    w.write(proto, 8)
+    w.write(0, 16)  # checksum placeholder
+    w.write(ip_to_int(src), 32)
+    w.write(ip_to_int(dst), 32)
+    header = bytearray(w.to_bytes())
+    checksum = _ipv4_checksum(bytes(header))
+    header[10] = checksum >> 8
+    header[11] = checksum & 0xFF
+    return bytes(header) + payload
+
+
+def udp(sport: int, dport: int, payload: bytes = b"") -> bytes:
+    w = BitWriter()
+    w.write(sport, 16)
+    w.write(dport, 16)
+    w.write(8 + len(payload), 16)
+    w.write(0, 16)  # checksum optional in IPv4
+    return w.to_bytes() + payload
+
+
+def arp_request(sender_mac: str, sender_ip: str, target_ip: str) -> bytes:
+    w = BitWriter()
+    w.write(1, 16)  # htype ethernet
+    w.write(ETHERTYPE_IPV4, 16)
+    w.write(6, 8)
+    w.write(4, 8)
+    w.write(1, 16)  # opcode request
+    w.write(mac_to_int(sender_mac), 48)
+    w.write(ip_to_int(sender_ip), 32)
+    w.write(0, 48)
+    w.write(ip_to_int(target_ip), 32)
+    return w.to_bytes()
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class EthernetView:
+    """Dissect the Ethernet (+optional 802.1Q) prefix of a frame."""
+
+    def __init__(self, frame: bytes):
+        r = BitReader(frame)
+        self.dst = int_to_mac(r.read(48))
+        self.src = int_to_mac(r.read(48))
+        ethertype = r.read(16)
+        if ethertype == ETHERTYPE_VLAN:
+            self.pcp = r.read(3)
+            r.read(1)
+            self.vlan: Optional[int] = r.read(12)
+            ethertype = r.read(16)
+        else:
+            self.pcp = 0
+            self.vlan = None
+        self.ethertype = ethertype
+        self.payload = r.rest()

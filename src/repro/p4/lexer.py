@@ -1,0 +1,176 @@
+"""Lexer for the P4-16 subset."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "header",
+    "struct",
+    "parser",
+    "control",
+    "state",
+    "transition",
+    "select",
+    "default",
+    "action",
+    "table",
+    "key",
+    "actions",
+    "default_action",
+    "size",
+    "apply",
+    "if",
+    "else",
+    "bit",
+    "bool",
+    "true",
+    "false",
+    "const",
+    "exact",
+    "lpm",
+    "ternary",
+    "in",
+    "out",
+    "inout",
+}
+
+OPERATORS = [
+    "&&&",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "(",
+    ")",
+    "{",
+    "}",
+    "<",
+    ">",
+    ";",
+    ":",
+    ",",
+    ".",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+]
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str, source: str = "<p4>") -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    column = 1
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, column
+        for _ in range(count):
+            if pos < n:
+                if text[pos] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                pos += 1
+
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", pos):
+            while pos < n and text[pos] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", pos):
+            advance(2)
+            while pos < n and not text.startswith("*/", pos):
+                advance(1)
+            if pos >= n:
+                raise LexError("unterminated comment", source, line, column)
+            advance(2)
+            continue
+        start_line, start_col = line, column
+        if ch.isdigit():
+            start = pos
+            if text.startswith("0x", pos) or text.startswith("0X", pos):
+                advance(2)
+                while pos < n and text[pos] in "0123456789abcdefABCDEF_":
+                    advance(1)
+                value = int(text[start:pos].replace("_", ""), 16)
+            elif text.startswith("0b", pos) or text.startswith("0B", pos):
+                advance(2)
+                while pos < n and text[pos] in "01_":
+                    advance(1)
+                value = int(text[start:pos].replace("_", ""), 2)
+            else:
+                while pos < n and (text[pos].isdigit() or text[pos] == "_"):
+                    advance(1)
+                # Width-annotated literal 8w255 / 8s-style is reduced to
+                # plain width'value in this subset: support NwV.
+                if pos < n and text[pos] == "w":
+                    width = int(text[start:pos].replace("_", ""))
+                    advance(1)
+                    vstart = pos
+                    if text.startswith("0x", pos) or text.startswith("0X", pos):
+                        advance(2)
+                        while pos < n and text[pos] in "0123456789abcdefABCDEF_":
+                            advance(1)
+                        value = int(text[vstart:pos].replace("_", ""), 16)
+                    else:
+                        while pos < n and (text[pos].isdigit() or text[pos] == "_"):
+                            advance(1)
+                        value = int(text[vstart:pos].replace("_", ""))
+                    tokens.append(
+                        Token("int", (value, width), start_line, start_col)
+                    )
+                    continue
+                value = int(text[start:pos].replace("_", ""))
+            tokens.append(Token("int", (value, None), start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                advance(1)
+            word = text[start:pos]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_col))
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, pos):
+                advance(len(op))
+                tokens.append(Token("op", op, start_line, start_col))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", source, line, column)
+    tokens.append(Token("eof", None, line, column))
+    return tokens

@@ -1,0 +1,192 @@
+"""The ``p4c-of`` analog: compile a pipeline to OpenFlow-style flows.
+
+The Nerpa repository includes ``p4c-of``, "which compiles P4 into
+OpenFlow and allows the use of high-performance software switches".
+This module reproduces that layer:
+
+* :func:`compile_to_openflow` statically lowers a compiled pipeline
+  into a :class:`FlowProgram`: one OpenFlow table per P4 table (in
+  apply order), and one **flow fragment template** per (table, action)
+  pair.  The fragment count is the metric Figure 3 tracks — each
+  fragment corresponds to one place that emits flows;
+* :func:`instantiate_entries` turns a simulator's current table
+  contents into concrete :class:`FlowRule` s;
+* :class:`OFSwitch` evaluates field-map packets against the flow
+  tables (match under mask, highest priority wins, ``goto`` to the
+  next table), so the lowering can be checked against the behavioral
+  simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DataPlaneError
+from repro.p4.ir import Pipeline
+from repro.p4.tables import TableState
+
+
+class FlowFragment:
+    """A template for flows some controller code path would emit.
+
+    ``table`` / ``action`` identify the (table, action) pair; the
+    ``match_fields`` are the fields a concrete flow will match on.
+    """
+
+    __slots__ = ("table_id", "table", "action", "match_fields")
+
+    def __init__(self, table_id: int, table: str, action: str, match_fields):
+        self.table_id = table_id
+        self.table = table
+        self.action = action
+        self.match_fields = list(match_fields)
+
+    def __repr__(self):
+        return f"Fragment(t{self.table_id}/{self.table} -> {self.action})"
+
+
+class FlowRule:
+    """A concrete flow: match (field -> (value, mask)) + actions."""
+
+    __slots__ = ("table_id", "match", "priority", "actions", "goto")
+
+    def __init__(self, table_id, match, priority, actions, goto):
+        self.table_id = table_id
+        self.match = match
+        self.priority = priority
+        self.actions = actions  # [("set", field, value) | ("output", port) | ...]
+        self.goto = goto
+
+    def matches(self, fields: Dict[str, int]) -> bool:
+        for name, (value, mask) in self.match.items():
+            if (fields.get(name, 0) & mask) != (value & mask):
+                return False
+        return True
+
+
+class FlowProgram:
+    """The static lowering of one pipeline."""
+
+    def __init__(self, pipeline: Pipeline):
+        self.pipeline = pipeline
+        self.table_ids: Dict[str, int] = {}
+        self.fragments: List[FlowFragment] = []
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.fragments)
+
+
+def compile_to_openflow(pipeline: Pipeline) -> FlowProgram:
+    """Lower a pipeline: table order follows the controls' apply blocks."""
+    program = FlowProgram(pipeline)
+    order: List[str] = []
+    controls = [pipeline.ingress] + (
+        [pipeline.egress] if pipeline.egress is not None else []
+    )
+    for control in controls:
+        for name in control.tables:
+            order.append(name)
+    for table_id, name in enumerate(order):
+        program.table_ids[name] = table_id
+        info = pipeline.p4info.table(name)
+        for action in info.action_names:
+            program.fragments.append(
+                FlowFragment(
+                    table_id,
+                    name,
+                    action,
+                    [f.name for f in info.match_fields],
+                )
+            )
+        if info.default_action and info.default_action not in info.action_names:
+            program.fragments.append(
+                FlowFragment(table_id, name, info.default_action, [])
+            )
+    return program
+
+
+def instantiate_entries(
+    program: FlowProgram, tables: Dict[str, TableState]
+) -> List[FlowRule]:
+    """Concrete flows for the current table contents.
+
+    Action lowering is symbolic: each P4 action becomes a ``("apply",
+    action_name, params)`` OpenFlow action; a real backend would expand
+    these into set-field/output primitives per target.
+    """
+    rules: List[FlowRule] = []
+    max_id = max(program.table_ids.values(), default=-1)
+    for name, state in tables.items():
+        table_id = program.table_ids.get(name)
+        if table_id is None:
+            raise DataPlaneError(f"table {name!r} not in flow program")
+        goto = table_id + 1 if table_id < max_id else None
+        info = state.info
+        for entry in state.entries():
+            match = {}
+            for field, fm in zip(info.match_fields, entry.matches):
+                full = (1 << field.width) - 1
+                if fm.kind == "exact":
+                    match[field.name] = (fm.value, full)
+                elif fm.kind == "lpm":
+                    plen = fm.arg or 0
+                    mask = ((1 << plen) - 1) << (field.width - plen) if plen else 0
+                    match[field.name] = (fm.value, mask)
+                else:
+                    match[field.name] = (fm.value, fm.arg or 0)
+            priority = entry.priority if entry.priority else 1
+            rules.append(
+                FlowRule(
+                    table_id,
+                    match,
+                    priority,
+                    [("apply", entry.action, entry.action_params)],
+                    goto,
+                )
+            )
+        if state.default_action:
+            rules.append(
+                FlowRule(
+                    table_id,
+                    {},
+                    0,
+                    [("apply", state.default_action, state.default_params)],
+                    goto,
+                )
+            )
+    return rules
+
+
+class OFSwitch:
+    """A minimal flow-table switch: field-map in, action trace out."""
+
+    def __init__(self, rules: Sequence[FlowRule]):
+        self.tables: Dict[int, List[FlowRule]] = {}
+        for rule in rules:
+            self.tables.setdefault(rule.table_id, []).append(rule)
+        for rules_list in self.tables.values():
+            rules_list.sort(key=lambda r: -r.priority)
+        self.lookups = 0
+
+    def process(self, fields: Dict[str, int]) -> List[Tuple[str, tuple]]:
+        """Walk the tables from 0; returns the applied action trace."""
+        trace: List[Tuple[str, tuple]] = []
+        table_id: Optional[int] = 0
+        seen = set()
+        while table_id is not None and table_id in self.tables:
+            if table_id in seen:
+                raise DataPlaneError("goto loop in flow program")
+            seen.add(table_id)
+            self.lookups += 1
+            matched = None
+            for rule in self.tables[table_id]:
+                if rule.matches(fields):
+                    matched = rule
+                    break
+            if matched is None:
+                break
+            for action in matched.actions:
+                trace.append((action[1], tuple(action[2])))
+            table_id = matched.goto
+        return trace

@@ -1,0 +1,26 @@
+"""A P4Runtime-style control API for the behavioral simulator.
+
+P4Runtime is how the paper's control plane programs its data planes:
+typed writes of table entries, multicast group configuration, and a
+stream of digests flowing back up.  This package reproduces that
+contract over the same framed-JSON transport the management plane uses:
+
+* :mod:`repro.p4runtime.api` — message/entity types and the
+  :class:`~repro.p4runtime.api.DeviceService` that applies them to a
+  :class:`~repro.p4.simulator.Simulator` (usable in-process, which is
+  how a Nerpa *local control plane* embeds into a device);
+* :mod:`repro.p4runtime.server` / :mod:`repro.p4runtime.client` — the
+  remote transport, digest subscriptions included.
+"""
+
+from repro.p4runtime.api import DeviceService, TableWrite, WriteError
+from repro.p4runtime.client import P4RuntimeClient
+from repro.p4runtime.server import P4RuntimeServer
+
+__all__ = [
+    "DeviceService",
+    "P4RuntimeClient",
+    "P4RuntimeServer",
+    "TableWrite",
+    "WriteError",
+]

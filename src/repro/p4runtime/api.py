@@ -1,0 +1,201 @@
+"""P4Runtime-style entities and the device-side service.
+
+The wire shapes (dicts, JSON-ready) mirror the parts of P4Runtime the
+stack needs:
+
+Table write update::
+
+    {"type": "INSERT" | "MODIFY" | "DELETE",
+     "table": "fwd",
+     "match": [{"field": "meta.vlan", "exact": 10},
+               {"field": "hdr.eth.dst", "ternary": [5, 255]},
+               {"field": "ip.dst", "lpm": [167772160, 8]}],
+     "action": {"name": "forward", "params": [2]},
+     "priority": 0}
+
+Writes are *batched and atomic*: a failed update rolls the whole batch
+back (P4Runtime's error semantics), which the Nerpa controller relies
+on to keep data-plane state transactional like the rest of the stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, RuntimeApiError
+from repro.p4.simulator import Simulator
+from repro.p4.tables import FieldMatch, TableEntry
+
+
+class WriteError(RuntimeApiError):
+    """A write batch failed; carries the index of the failing update."""
+
+    def __init__(self, index: int, message: str):
+        self.index = index
+        super().__init__(f"update {index}: {message}")
+
+
+class TableWrite:
+    """One update of a write batch."""
+
+    __slots__ = ("kind", "table", "entry")
+
+    def __init__(self, kind: str, table: str, entry: TableEntry):
+        if kind not in ("INSERT", "MODIFY", "DELETE"):
+            raise RuntimeApiError(f"bad write type {kind!r}")
+        self.kind = kind
+        self.table = table
+        self.entry = entry
+
+    @classmethod
+    def insert(cls, table: str, entry: TableEntry) -> "TableWrite":
+        return cls("INSERT", table, entry)
+
+    @classmethod
+    def delete(cls, table: str, entry: TableEntry) -> "TableWrite":
+        return cls("DELETE", table, entry)
+
+    @classmethod
+    def modify(cls, table: str, entry: TableEntry) -> "TableWrite":
+        return cls("MODIFY", table, entry)
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.kind,
+            "table": self.table,
+            "match": [_match_to_wire(m) for m in self.entry.matches],
+            "action": {
+                "name": self.entry.action,
+                "params": list(self.entry.action_params),
+            },
+            "priority": self.entry.priority,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "TableWrite":
+        try:
+            matches = [_match_from_wire(m) for m in data.get("match", [])]
+            action = data.get("action", {})
+            entry = TableEntry(
+                matches,
+                action.get("name", "NoAction"),
+                action.get("params", []),
+                data.get("priority", 0),
+            )
+            return cls(data["type"], data["table"], entry)
+        except (KeyError, TypeError) as exc:
+            raise RuntimeApiError(f"bad table write {data!r}: {exc}") from exc
+
+    def __repr__(self):
+        return f"TableWrite({self.kind} {self.table} {self.entry!r})"
+
+
+def _match_to_wire(match: FieldMatch) -> dict:
+    if match.kind == "exact":
+        return {"exact": match.value}
+    if match.kind == "lpm":
+        return {"lpm": [match.value, match.arg]}
+    return {"ternary": [match.value, match.arg]}
+
+
+def _match_from_wire(data: dict) -> FieldMatch:
+    if "exact" in data:
+        return FieldMatch.exact(data["exact"])
+    if "lpm" in data:
+        value, prefix_len = data["lpm"]
+        return FieldMatch.lpm(value, prefix_len)
+    if "ternary" in data:
+        value, mask = data["ternary"]
+        return FieldMatch.ternary(value, mask)
+    raise RuntimeApiError(f"bad match field {data!r}")
+
+
+class DeviceService:
+    """Applies P4Runtime-style operations to one simulator.
+
+    This is the device-local half: the remote server delegates here,
+    and in-process deployments (a Nerpa "local control plane") call it
+    directly.
+    """
+
+    def __init__(self, simulator: Simulator, device_id: str = "device-0"):
+        self.sim = simulator
+        self.device_id = device_id
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, updates: Sequence[TableWrite]) -> int:
+        """Apply a batch atomically; returns the number of updates.
+
+        On failure the already-applied prefix is rolled back and a
+        :class:`WriteError` is raised.
+        """
+        applied: List[Tuple[TableWrite, Optional[TableEntry]]] = []
+        try:
+            for i, update in enumerate(updates):
+                try:
+                    old = self._apply_one(update)
+                except ReproError as exc:
+                    raise WriteError(i, str(exc)) from exc
+                applied.append((update, old))
+        except WriteError:
+            for update, old in reversed(applied):
+                self._revert_one(update, old)
+            raise
+        return len(applied)
+
+    def _apply_one(self, update: TableWrite) -> Optional[TableEntry]:
+        table = self.sim.table(update.table)
+        if update.kind == "INSERT":
+            table.insert(update.entry)
+            return None
+        if update.kind == "MODIFY":
+            key = update.entry.match_key()
+            old = next(
+                (e for e in table.entries() if e.match_key() == key), None
+            )
+            table.modify(update.entry)
+            return old
+        key = update.entry.match_key()
+        old = next((e for e in table.entries() if e.match_key() == key), None)
+        table.delete(update.entry)
+        return old
+
+    def _revert_one(self, update: TableWrite, old: Optional[TableEntry]) -> None:
+        table = self.sim.table(update.table)
+        if update.kind == "INSERT":
+            table.delete(update.entry)
+        elif update.kind == "MODIFY" and old is not None:
+            table.modify(old)
+        elif update.kind == "DELETE" and old is not None:
+            table.insert(old)
+
+    # -- reads and config -------------------------------------------------------
+
+    def read_table(self, table: str) -> List[TableEntry]:
+        return self.sim.table(table).entries()
+
+    def set_default_action(self, table: str, action: str, params: Sequence[int]) -> None:
+        self.sim.table(table).set_default(action, params)
+
+    def set_multicast_group(self, group_id: int, ports: Sequence[int]) -> None:
+        self.sim.set_multicast_group(group_id, list(ports))
+
+    def delete_multicast_group(self, group_id: int) -> None:
+        self.sim.delete_multicast_group(group_id)
+
+    def p4info(self) -> dict:
+        return self.sim.pipeline.p4info.to_json()
+
+    # -- digests and packet I/O ---------------------------------------------------------
+
+    def drain_digests(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        return [(d.name, d.values) for d in self.sim.drain_digests()]
+
+    def packet_out(self, port: int, data: bytes):
+        """Controller-originated packet: inject as if received on ``port``
+        (P4Runtime's PacketOut, simplified to ingress injection)."""
+        return self.sim.inject(port, data)
+
+    def drain_packet_ins(self) -> List[Tuple[int, bytes]]:
+        return self.sim.drain_packet_ins()

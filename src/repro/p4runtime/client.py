@@ -1,0 +1,168 @@
+"""Blocking client for the P4Runtime-style API."""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError, RuntimeApiError
+from repro.mgmt.jsonrpc import (
+    NotificationDispatcher,
+    classify,
+    make_request,
+    recv_message,
+    send_message,
+)
+from repro.p4runtime.api import TableWrite
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+class _PendingCall:
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+
+
+class P4RuntimeClient:
+    """Talks to a :class:`~repro.p4runtime.server.P4RuntimeServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = _DEFAULT_TIMEOUT):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(None)
+        self.timeout = timeout
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _PendingCall] = {}
+        self._pending_lock = threading.Lock()
+        self._next_id = 0
+        self._digest_callback: Optional[
+            Callable[[str, Tuple[int, ...]], None]
+        ] = None
+        self._packet_in_callback: Optional[
+            Callable[[int, bytes], None]
+        ] = None
+        self._closed = False
+        self._dispatcher = NotificationDispatcher("p4rt-client-dispatch")
+        threading.Thread(
+            target=self._read_loop, name="p4rt-client-reader", daemon=True
+        ).start()
+
+    def call(self, method: str, params) -> object:
+        with self._pending_lock:
+            self._next_id += 1
+            request_id = self._next_id
+            pending = _PendingCall()
+            self._pending[request_id] = pending
+        with self._send_lock:
+            send_message(self.sock, make_request(method, params, request_id))
+        if not pending.event.wait(self.timeout):
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise ProtocolError(f"timeout waiting for {method} response")
+        if pending.error is not None:
+            raise RuntimeApiError(str(pending.error))
+        return pending.result
+
+    def _read_loop(self) -> None:
+        try:
+            while not self._closed:
+                message = recv_message(self.sock)
+                if message is None:
+                    break
+                kind = classify(message)
+                if kind == "response":
+                    with self._pending_lock:
+                        pending = self._pending.pop(message["id"], None)
+                    if pending is not None:
+                        pending.result = message.get("result")
+                        pending.error = message.get("error")
+                        pending.event.set()
+                elif kind == "notification" and message["method"] == "digest":
+                    callback = self._digest_callback
+                    if callback is not None:
+                        name, values = message["params"]
+                        # Off-thread so the callback may call back into
+                        # this client (the controller writes table
+                        # entries in response to digests).
+                        self._dispatcher.submit(callback, name, tuple(values))
+                elif kind == "notification" and message["method"] == "packet_in":
+                    callback = self._packet_in_callback
+                    if callback is not None:
+                        port, hex_data = message["params"]
+                        self._dispatcher.submit(
+                            callback, port, bytes.fromhex(hex_data)
+                        )
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            with self._pending_lock:
+                pending = list(self._pending.values())
+                self._pending.clear()
+            for p in pending:
+                p.error = "connection closed"
+                p.event.set()
+
+    # -- API -----------------------------------------------------------------
+
+    def get_p4info(self) -> dict:
+        return self.call("get_p4info", [])
+
+    def write(self, updates: Sequence[TableWrite]) -> int:
+        result = self.call("write", [u.to_wire() for u in updates])
+        return result["applied"]
+
+    def read_table(self, table: str) -> List[TableWrite]:
+        result = self.call("read_table", [table])
+        return [TableWrite.from_wire(e) for e in result["entries"]]
+
+    def set_default_action(self, table: str, action: str, params: Sequence[int]) -> None:
+        self.call("set_default_action", [table, action, list(params)])
+
+    def set_multicast_group(self, group_id: int, ports: Sequence[int]) -> None:
+        self.call("set_multicast_group", [group_id, list(ports)])
+
+    def delete_multicast_group(self, group_id: int) -> None:
+        self.call("delete_multicast_group", [group_id])
+
+    def inject(self, port: int, data: bytes) -> List[Tuple[int, bytes]]:
+        result = self.call("inject", [port, data.hex()])
+        return [(p, bytes.fromhex(h)) for p, h in result["outputs"]]
+
+    def subscribe_digests(
+        self, callback: Callable[[str, Tuple[int, ...]], None]
+    ) -> None:
+        self._digest_callback = callback
+        self.call("subscribe_digests", [])
+
+    def subscribe_packet_ins(
+        self, callback: Callable[[int, bytes], None]
+    ) -> None:
+        self._packet_in_callback = callback
+        self.call("subscribe_packet_ins", [])
+
+    def packet_out(self, port: int, data: bytes) -> List[Tuple[int, bytes]]:
+        result = self.call("packet_out", [port, data.hex()])
+        return [(p, bytes.fromhex(h)) for p, h in result["outputs"]]
+
+    def close(self) -> None:
+        self._closed = True
+        self._dispatcher.close()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "P4RuntimeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,236 @@
+"""TCP server exposing a simulated device through the P4Runtime-style API.
+
+Methods:
+
+* ``get_p4info []``
+* ``write [update, ...]`` — atomic batch of table writes;
+* ``read_table [table]``
+* ``set_default_action [table, action, params]``
+* ``set_multicast_group [group_id, ports]`` / ``delete_multicast_group``
+* ``inject [port, hex_bytes]`` — test/bench hook: run a packet, return
+  ``[[port, hex], ...]`` outputs;
+* ``subscribe_digests []`` — digest notifications
+  (``{"method": "digest", "params": [name, values]}``) flow to this
+  connection as packets produce them;
+* ``subscribe_packet_ins []`` / ``packet_out [port, hex]`` — the CPU
+  punt path: packets the pipeline sends to the CPU port arrive as
+  ``{"method": "packet_in", "params": [ingress_port, hex]}``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError, ReproError
+from repro.mgmt.jsonrpc import (
+    classify,
+    make_error,
+    make_notification,
+    make_response,
+    recv_message,
+    send_message,
+)
+from repro.p4.simulator import DigestMessage, Simulator
+from repro.p4runtime.api import DeviceService, TableWrite
+
+
+class _Connection:
+    def __init__(self, server: "P4RuntimeServer", sock: socket.socket):
+        self.server = server
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.wants_digests = False
+        self.wants_packet_ins = False
+        self.alive = True
+
+    def send(self, message: dict) -> None:
+        with self.send_lock:
+            try:
+                send_message(self.sock, message)
+            except OSError:
+                self.alive = False
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def serve(self) -> None:
+        try:
+            while self.alive:
+                message = recv_message(self.sock)
+                if message is None:
+                    break
+                if classify(message) != "request":
+                    continue
+                method = message["method"]
+                params = message.get("params", [])
+                request_id = message["id"]
+                try:
+                    result = self._handle(method, params)
+                    self.send(make_response(result, request_id))
+                except ReproError as exc:
+                    self.send(make_error({"error": str(exc)}, request_id))
+                except Exception as exc:  # noqa: BLE001
+                    self.send(
+                        make_error({"error": f"internal: {exc}"}, request_id)
+                    )
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            self.close()
+            self.server._forget(self)
+
+    def _handle(self, method: str, params):
+        service = self.server.service
+        if method == "get_p4info":
+            return service.p4info()
+        if method == "write":
+            updates = [TableWrite.from_wire(u) for u in params]
+            return {"applied": service.write(updates)}
+        if method == "read_table":
+            (table,) = params
+            return {
+                "entries": [
+                    TableWrite("INSERT", table, e).to_wire()
+                    for e in service.read_table(table)
+                ]
+            }
+        if method == "set_default_action":
+            table, action, action_params = params
+            service.set_default_action(table, action, action_params)
+            return {}
+        if method == "set_multicast_group":
+            group_id, ports = params
+            service.set_multicast_group(group_id, ports)
+            return {}
+        if method == "delete_multicast_group":
+            (group_id,) = params
+            service.delete_multicast_group(group_id)
+            return {}
+        if method == "inject":
+            port, hex_data = params
+            outputs = self.server.sim.inject(port, bytes.fromhex(hex_data))
+            self.server.flush_digests()
+            return {"outputs": [[p, data.hex()] for p, data in outputs]}
+        if method == "subscribe_digests":
+            self.wants_digests = True
+            return {}
+        if method == "subscribe_packet_ins":
+            self.wants_packet_ins = True
+            return {}
+        if method == "packet_out":
+            port, hex_data = params
+            outputs = service.packet_out(port, bytes.fromhex(hex_data))
+            self.server.flush_digests()
+            return {"outputs": [[p, data.hex()] for p, data in outputs]}
+        raise ProtocolError(f"unknown method {method!r}")
+
+
+class P4RuntimeServer:
+    """Serves one simulator over TCP."""
+
+    def __init__(self, sim: Simulator, host: str = "127.0.0.1", port: int = 0):
+        self.sim = sim
+        self.service = DeviceService(sim)
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._connections: List[_Connection] = []
+        self._conn_lock = threading.Lock()
+        self._running = False
+        # Route digests emitted by direct (in-process) inject calls too.
+        self._prev_callback = sim.digest_callback
+        sim.digest_callback = self._on_digest
+        self._prev_packet_in = sim.packet_in_callback
+        sim.packet_in_callback = self._on_packet_in
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "P4RuntimeServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        self._listener = listener
+        self._running = True
+        threading.Thread(
+            target=self._accept_loop, name="p4rt-server", daemon=True
+        ).start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(self, sock)
+            with self._conn_lock:
+                self._connections.append(conn)
+            threading.Thread(target=conn.serve, daemon=True).start()
+
+    def _forget(self, conn: _Connection) -> None:
+        with self._conn_lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+
+    def _on_digest(self, digest: DigestMessage) -> None:
+        if self._prev_callback is not None:
+            self._prev_callback(digest)
+        self._broadcast_digest(digest)
+
+    def _broadcast_digest(self, digest: DigestMessage) -> None:
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            if conn.wants_digests:
+                conn.send(
+                    make_notification(
+                        "digest", [digest.name, list(digest.values)]
+                    )
+                )
+
+    def _on_packet_in(self, port: int, data: bytes) -> None:
+        if self._prev_packet_in is not None:
+            self._prev_packet_in(port, data)
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            if conn.wants_packet_ins:
+                conn.send(
+                    make_notification("packet_in", [port, data.hex()])
+                )
+
+    def flush_digests(self) -> None:
+        """Deliver any digests queued in the simulator."""
+        for digest in self.sim.drain_digests():
+            self._broadcast_digest(digest)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "P4RuntimeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,31 @@
+"""Workload generators for the evaluation harness.
+
+Each generator reproduces a workload the paper references:
+
+* :mod:`repro.workloads.topology` — fat-tree and random graphs for the
+  reachability/routing experiments;
+* :mod:`repro.workloads.churn` — Robotron-style configuration churn
+  (§2.1's "more than 50 lines change per day ... backbone devices
+  average a dozen changes per week, with over 150 lines per change");
+* :mod:`repro.workloads.ports` — the §4.3 port-scaling workload
+  (2,000 sequential port additions);
+* :mod:`repro.workloads.loadbalancer` — OVN's load-balancer benchmark
+  shape (§2.2: cold start with large load balancers, then delete each).
+
+Generators take an explicit seed so every benchmark run is
+reproducible.
+"""
+
+from repro.workloads.topology import fat_tree, random_graph
+from repro.workloads.churn import ChurnEvent, robotron_churn
+from repro.workloads.ports import port_add_stream
+from repro.workloads.loadbalancer import LoadBalancerWorkload
+
+__all__ = [
+    "ChurnEvent",
+    "LoadBalancerWorkload",
+    "fat_tree",
+    "port_add_stream",
+    "random_graph",
+    "robotron_churn",
+]

@@ -1,0 +1,69 @@
+"""Robotron-style configuration churn (§2.1).
+
+The paper motivates incrementality with Meta's Robotron numbers: models
+change by ~50 lines/day across the fleet, and each backbone device sees
+about a dozen changes per week at ~150 lines per change.  We translate
+"model lines" into management-database operations: each churn event
+touches a handful of rows in a network model, never the whole model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+
+class ChurnEvent:
+    """One configuration change: a batch of row-level operations.
+
+    ``kind`` is one of ``add_port``, ``del_port``, ``retag_port``,
+    ``move_port`` — the operation mix observed for top-down management
+    systems (mostly attribute updates, some adds/removes).
+    """
+
+    __slots__ = ("kind", "port", "vlan", "lines")
+
+    def __init__(self, kind: str, port: int, vlan: int, lines: int):
+        self.kind = kind
+        self.port = port
+        self.vlan = vlan
+        self.lines = lines
+
+    def __repr__(self):
+        return f"ChurnEvent({self.kind}, port={self.port}, vlan={self.vlan})"
+
+
+def robotron_churn(
+    n_ports: int,
+    n_vlans: int,
+    n_events: int,
+    seed: int = 0,
+    lines_per_change: int = 150,
+) -> Iterator[ChurnEvent]:
+    """Generate a stream of configuration changes over an existing model.
+
+    The operation mix (70% attribute updates, 15% adds, 15% removes)
+    keeps the model size roughly stable while producing the continuous
+    small-change pattern the paper describes.
+    """
+    rng = random.Random(seed)
+    live: List[int] = list(range(n_ports))
+    next_port = n_ports
+    for _ in range(n_events):
+        roll = rng.random()
+        vlan = rng.randrange(1, n_vlans + 1)
+        lines = max(1, int(rng.gauss(lines_per_change, lines_per_change / 4)))
+        if roll < 0.70 and live:
+            port = rng.choice(live)
+            if rng.random() < 0.5:
+                yield ChurnEvent("retag_port", port, vlan, lines)
+            else:
+                yield ChurnEvent("move_port", port, vlan, lines)
+        elif roll < 0.85 or not live:
+            port = next_port
+            next_port += 1
+            live.append(port)
+            yield ChurnEvent("add_port", port, vlan, lines)
+        else:
+            port = live.pop(rng.randrange(len(live)))
+            yield ChurnEvent("del_port", port, vlan, lines)

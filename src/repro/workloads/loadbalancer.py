@@ -1,0 +1,85 @@
+"""The OVN load-balancer worst case (§2.2).
+
+"OVN's load balancer benchmark cold starts ovn-controller with large
+load balancers and then deletes each.  This is a worst-case for
+incremental computation: changes occur multiple times and cannot be
+easily parallelized, but automatically incrementalizing the code still
+requires memory-intensive data indexing."
+
+The workload: N load balancers, each with one VIP and B backends,
+spread over S logical switches.  Phase 1 (cold start) presents the
+whole configuration at once; phase 2 deletes the load balancers one by
+one.  The controller must derive per-switch NAT/forwarding entries:
+each (load balancer, backend, switch) triple produces one entry, so the
+derived state is large relative to the input — exactly what makes
+indexing expensive for an automatically incremental engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+
+class LoadBalancerWorkload:
+    """Deterministic generator for the cold-start-then-delete benchmark."""
+
+    def __init__(
+        self,
+        n_lbs: int = 20,
+        backends_per_lb: int = 50,
+        n_switches: int = 10,
+        seed: int = 0,
+    ):
+        self.n_lbs = n_lbs
+        self.backends_per_lb = backends_per_lb
+        self.n_switches = n_switches
+        rng = random.Random(seed)
+        # lb id -> (vip, [backend ips])
+        self.lbs: Dict[int, Tuple[int, List[int]]] = {}
+        for lb in range(n_lbs):
+            vip = 0x0A000000 + lb  # 10.0.x.x block
+            backends = [
+                0x0B000000 + lb * backends_per_lb + i
+                for i in range(backends_per_lb)
+            ]
+            rng.shuffle(backends)
+            self.lbs[lb] = (vip, backends)
+        # Every LB is attached to every switch (OVN's pathological case).
+        self.switches = list(range(n_switches))
+
+    def cold_start_rows(self):
+        """(lb, vip, backend) rows plus (lb, switch) attachment rows."""
+        vip_backends = []
+        attachments = []
+        for lb, (vip, backends) in self.lbs.items():
+            for backend in backends:
+                vip_backends.append((lb, vip, backend))
+            for switch in self.switches:
+                attachments.append((lb, switch))
+        return vip_backends, attachments
+
+    def deletion_batches(self):
+        """Yield per-LB deletion batches, in order (the benchmark's
+        phase 2 deletes each load balancer in its own transaction)."""
+        for lb, (vip, backends) in self.lbs.items():
+            vip_backends = [(lb, vip, backend) for backend in backends]
+            attachments = [(lb, switch) for switch in self.switches]
+            yield lb, vip_backends, attachments
+
+    @property
+    def derived_entries(self) -> int:
+        """Size of the fully derived state (entries per switch per backend)."""
+        return self.n_lbs * self.backends_per_lb * self.n_switches
+
+
+# The dlog control program for this workload, shared by the benchmark
+# and the tests.  Each attached (lb, switch) pair expands every backend
+# into a per-switch NAT entry.
+LB_DLOG_PROGRAM = """
+input relation LbVip(lb: bigint, vip: bigint, backend: bigint)
+input relation LbSwitch(lb: bigint, switch: bigint)
+output relation NatEntry(switch: bigint, vip: bigint, backend: bigint)
+
+NatEntry(sw, vip, backend) :- LbSwitch(lb, sw), LbVip(lb, vip, backend).
+"""

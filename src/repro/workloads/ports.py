@@ -1,0 +1,19 @@
+"""The §4.3 port-scaling workload: N sequential port additions.
+
+"As a preliminary scalability evaluation, we added 2,000 ports to the
+system.  We then measured the time between (1) the OVSDB client reading
+a new port from OVSDB and (2) the data plane entry being added to the
+P4 table."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+
+def port_add_stream(
+    n_ports: int, n_vlans: int = 8, start_port: int = 0
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(port_number, vlan)`` pairs, round-robining VLANs."""
+    for i in range(n_ports):
+        yield start_port + i, 1 + (i % n_vlans)

@@ -1,0 +1,84 @@
+"""Network topology generators (graphs as edge lists).
+
+Nodes are integers; edges are directed ``(src, dst)`` pairs.  The
+generators return both directions for physical links, matching how a
+routing control plane sees adjacency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def fat_tree(k: int) -> List[Edge]:
+    """A k-ary fat-tree (k even): the canonical datacenter topology.
+
+    Node numbering: core switches first, then per-pod aggregation and
+    edge switches.  Returns bidirectional edges.
+    """
+    if k % 2 != 0 or k < 2:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    n_core = half * half
+    edges: List[Edge] = []
+
+    def core(i: int) -> int:
+        return i
+
+    def agg(pod: int, i: int) -> int:
+        return n_core + pod * k + i
+
+    def edge_sw(pod: int, i: int) -> int:
+        return n_core + pod * k + half + i
+
+    for pod in range(k):
+        for a in range(half):
+            # Aggregation a connects to core switches a*half .. a*half+half-1.
+            for c in range(half):
+                _link(edges, agg(pod, a), core(a * half + c))
+            for e in range(half):
+                _link(edges, agg(pod, a), edge_sw(pod, e))
+    return edges
+
+
+def random_graph(
+    n_nodes: int, n_edges: int, seed: int = 0, connected: bool = True
+) -> List[Edge]:
+    """A random directed graph, optionally seeded with a spanning path
+    so every node is reachable from node 0."""
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    if connected and n_nodes > 1:
+        order = list(range(1, n_nodes))
+        rng.shuffle(order)
+        prev = 0
+        for node in order:
+            edges.add((prev, node))
+            prev = node
+    attempts = 0
+    while len(edges) < n_edges and attempts < n_edges * 50:
+        a = rng.randrange(n_nodes)
+        b = rng.randrange(n_nodes)
+        attempts += 1
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+def random_tree(n_nodes: int, seed: int = 0) -> List[Edge]:
+    """A random recursive tree rooted at 0 (edges point away from root).
+
+    Trees are the localized-change topology: deleting an edge affects
+    exactly the subtree below it, so they exhibit the paper's
+    "work proportional to the modified state" claim in its purest form.
+    """
+    rng = random.Random(seed)
+    return [(rng.randrange(0, i), i) for i in range(1, n_nodes)]
+
+
+def _link(edges: List[Edge], a: int, b: int) -> None:
+    edges.append((a, b))
+    edges.append((b, a))

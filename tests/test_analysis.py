@@ -1,0 +1,67 @@
+"""Tests for LoC accounting and benchmark statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.loc import count_loc
+from repro.analysis.stats import mean, percentile, stdev
+
+
+class TestLoc:
+    def test_blank_lines_skipped(self):
+        assert count_loc("a = 1\n\n\nb = 2\n") == 2
+
+    def test_python_comments(self):
+        assert count_loc("# comment\nx = 1  # trailing\n") == 1
+
+    def test_dlog_line_comments(self):
+        assert count_loc("// c\nR(x) :- S(x).\n", kind="dlog") == 1
+
+    def test_dlog_block_comments(self):
+        text = "/* one\ntwo\nthree */\nR(x) :- S(x).\n"
+        assert count_loc(text, kind="dlog") == 1
+
+    def test_block_comment_with_trailing_code(self):
+        assert count_loc("/* c */ R(x) :- S(x).", kind="dlog") == 1
+
+    def test_empty(self):
+        assert count_loc("", kind="p4") == 0
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_singleton(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_stdev(self):
+        assert abs(stdev([1.0, 3.0]) - 2**0.5) < 1e-12
+
+    def test_percentile_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_percentile_bad_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_percentile_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_percentile_within_range(self, values):
+        p50 = percentile(values, 50)
+        assert min(values) <= p50 <= max(values)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
+    def test_percentile_monotone(self, values):
+        assert percentile(values, 25) <= percentile(values, 75)

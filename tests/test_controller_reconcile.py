@@ -1,0 +1,142 @@
+"""Controller restart & reconciliation tests.
+
+A controller that crashes and restarts faces a device that already
+holds entries from its previous life — possibly stale ones.  With
+``start(reconcile=True)`` the new controller must converge the device
+to exactly the state the current configuration derives, without
+duplicate-insert failures and without touching correct entries.
+"""
+
+import pytest
+
+from repro.core.controller import NerpaController
+from repro.core.pipeline import nerpa_build
+from repro.mgmt.database import Database
+from repro.mgmt.schema import simple_schema
+from repro.p4.tables import FieldMatch, TableEntry
+
+SCHEMA = simple_schema(
+    "net", {"PortCfg": {"port": "integer", "out_port": "integer"}}
+)
+
+P4 = """
+header eth_t { bit<48> dst; bit<48> src; bit<16> ethertype; }
+struct headers_t { eth_t eth; }
+struct meta_t { bit<1> pad; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+         inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Ing(inout headers_t hdr, inout meta_t m,
+            inout standard_metadata_t std) {
+    action forward(bit<16> port) { std.egress_spec = port; }
+    action drop() { mark_to_drop(); }
+    table patch {
+        key = { std.ingress_port : exact; }
+        actions = { forward; drop; }
+        default_action = drop();
+    }
+    apply { patch.apply(); }
+}
+"""
+
+RULES = "Patch(p as bit<16>, PatchActionForward{o as bit<16>}) :- PortCfg(_, p, o)."
+
+
+def build():
+    project = nerpa_build(SCHEMA, RULES, P4)
+    db = Database(project.schema)
+    switch = project.new_simulator(n_ports=16)
+    return project, db, switch
+
+
+def add_port(db, port, out_port):
+    db.transact(
+        [
+            {
+                "op": "insert",
+                "table": "PortCfg",
+                "row": {"port": port, "out_port": out_port},
+            }
+        ]
+    )
+
+
+class TestReconcile:
+    def test_fresh_start_against_populated_device_fails_without_reconcile(self):
+        project, db, switch = build()
+        add_port(db, 1, 5)
+        NerpaController(project, db, [switch]).start().stop()
+        assert len(switch.table("patch")) == 1
+
+        # Second controller, same device, no reconciliation: the blind
+        # initial insert collides.
+        db2 = Database(project.schema)
+        add_port(db2, 1, 5)
+        from repro.p4runtime.api import WriteError
+
+        with pytest.raises(WriteError):
+            NerpaController(project, db2, [switch]).start()
+
+    def test_reconcile_preserves_correct_entries(self):
+        project, db, switch = build()
+        add_port(db, 1, 5)
+        add_port(db, 2, 6)
+        NerpaController(project, db, [switch]).start().stop()
+
+        db2 = Database(project.schema)
+        add_port(db2, 1, 5)
+        add_port(db2, 2, 6)
+        controller = NerpaController(project, db2, [switch])
+        controller.start(reconcile=True)
+        assert len(switch.table("patch")) == 2
+        assert switch.table("patch").lookup([1]) == ("forward", (5,), True)
+        # Nothing needed fixing: no reconciliation writes.
+        assert controller.entries_written == 0
+
+    def test_reconcile_removes_stale_entries(self):
+        project, db, switch = build()
+        add_port(db, 1, 5)
+        NerpaController(project, db, [switch]).start().stop()
+        # Leftover garbage from a previous life.
+        switch.table("patch").insert(
+            TableEntry([FieldMatch.exact(9)], "forward", [9])
+        )
+
+        db2 = Database(project.schema)
+        add_port(db2, 1, 5)
+        NerpaController(project, db2, [switch]).start(reconcile=True)
+        assert len(switch.table("patch")) == 1
+        # Port 9 falls back to the default action (miss).
+        assert switch.table("patch").lookup([9])[2] is False
+
+    def test_reconcile_fixes_wrong_action_params(self):
+        project, db, switch = build()
+        add_port(db, 1, 5)
+        NerpaController(project, db, [switch]).start().stop()
+
+        # New config says port 1 -> 7; the device still says -> 5.
+        db2 = Database(project.schema)
+        add_port(db2, 1, 7)
+        NerpaController(project, db2, [switch]).start(reconcile=True)
+        assert switch.table("patch").lookup([1]) == ("forward", (7,), True)
+        assert len(switch.table("patch")) == 1
+
+    def test_reconcile_inserts_missing_entries(self):
+        project, db, switch = build()  # device starts empty
+        add_port(db, 3, 4)
+        controller = NerpaController(project, db, [switch])
+        controller.start(reconcile=True)
+        assert switch.table("patch").lookup([3]) == ("forward", (4,), True)
+
+    def test_reconciled_controller_stays_incremental(self):
+        project, db, switch = build()
+        add_port(db, 1, 5)
+        NerpaController(project, db, [switch]).start().stop()
+
+        db2 = Database(project.schema)
+        add_port(db2, 1, 5)
+        controller = NerpaController(project, db2, [switch])
+        controller.start(reconcile=True)
+        add_port(db2, 2, 6)  # post-restart change flows normally
+        assert switch.table("patch").lookup([2]) == ("forward", (6,), True)

@@ -1,0 +1,119 @@
+"""Additional aggregate and collection-handling engine tests."""
+
+import pytest
+
+from repro.dlog import compile_program
+from repro.dlog.values import MapValue
+
+
+class TestAggregateVariants:
+    PROG = """
+    input relation M(k: string, v: bigint)
+    output relation Min(k: string, v: bigint)
+    output relation Max(k: string, v: bigint)
+    output relation Avg(k: string, v: float)
+    Min(k, m) :- M(k, v), var m = Aggregate((k), min(v)).
+    Max(k, m) :- M(k, v), var m = Aggregate((k), max(v)).
+    Avg(k, m) :- M(k, v), var m = Aggregate((k), avg(v)).
+    """
+
+    def test_min_max_avg(self):
+        rt = compile_program(self.PROG).start()
+        rt.transaction(inserts={"M": [("a", 1), ("a", 5), ("a", 3)]})
+        assert rt.dump("Min") == {("a", 1)}
+        assert rt.dump("Max") == {("a", 5)}
+        assert rt.dump("Avg") == {("a", 3.0)}
+
+    def test_min_updates_on_delete(self):
+        rt = compile_program(self.PROG).start()
+        rt.transaction(inserts={"M": [("a", 1), ("a", 5)]})
+        result = rt.transaction(deletes={"M": [("a", 1)]})
+        assert result.deleted("Min") == [("a", 1)]
+        assert result.inserted("Min") == [("a", 5)]
+
+    def test_group_to_map(self):
+        prog = """
+        input relation Pair(g: string, k: string, v: bigint)
+        output relation AsMap(g: string, m: Map<string, bigint>)
+        AsMap(g, m) :- Pair(g, k, v), var m = Aggregate((g), group_to_map(k, v)).
+        """
+        rt = compile_program(prog).start()
+        rt.transaction(
+            inserts={"Pair": [("g", "x", 1), ("g", "y", 2)]}
+        )
+        ((g, m),) = rt.dump("AsMap")
+        assert g == "g"
+        assert isinstance(m, MapValue)
+        assert m["x"] == 1 and m["y"] == 2
+
+    def test_multiple_group_keys(self):
+        prog = """
+        input relation T(a: string, b: string, v: bigint)
+        output relation S(a: string, b: string, total: bigint)
+        S(a, b, t) :- T(a, b, v), var t = Aggregate((a, b), sum(v)).
+        """
+        rt = compile_program(prog).start()
+        rt.transaction(
+            inserts={"T": [("x", "y", 1), ("x", "y", 2), ("x", "z", 4)]}
+        )
+        assert rt.dump("S") == {("x", "y", 3), ("x", "z", 4)}
+
+    def test_aggregate_feeding_join(self):
+        prog = """
+        input relation Load(server: string, mb: bigint)
+        input relation Limit(server: string, cap: bigint)
+        output relation Overloaded(server: string)
+        relation Total(server: string, t: bigint)
+        Total(s, t) :- Load(s, mb), var t = Aggregate((s), sum(mb)).
+        Overloaded(s) :- Total(s, t), Limit(s, cap), t > cap.
+        """
+        rt = compile_program(prog).start()
+        rt.transaction(
+            inserts={
+                "Load": [("a", 60), ("a", 50), ("b", 10)],
+                "Limit": [("a", 100), ("b", 100)],
+            }
+        )
+        assert rt.dump("Overloaded") == {("a",)}
+        rt.transaction(deletes={"Load": [("a", 60)]})
+        assert rt.dump("Overloaded") == set()
+
+
+class TestFlatMapOverMap:
+    def test_flatmap_map_yields_pairs(self):
+        prog = """
+        input relation Conf(name: string, opts: Map<string, string>)
+        output relation Opt(name: string, key: string, value: string)
+        Opt(n, k, v) :- Conf(n, opts), var kv = FlatMap(opts),
+            var (k, v) = kv.
+        """
+        rt = compile_program(prog).start()
+        rt.transaction(
+            inserts={"Conf": [("a", MapValue([("x", "1"), ("y", "2")]))]}
+        )
+        assert rt.dump("Opt") == {("a", "x", "1"), ("a", "y", "2")}
+
+
+class TestTupleColumns:
+    def test_tuple_column_round_trip(self):
+        prog = """
+        input relation R(pair: (bigint, string))
+        output relation L(x: bigint)
+        output relation S(s: string)
+        L(p.0) :- R(p).
+        S(p.1) :- R(p).
+        """
+        rt = compile_program(prog).start()
+        rt.transaction(inserts={"R": [((7, "seven"),)]})
+        assert rt.dump("L") == {(7,)}
+        assert rt.dump("S") == {("seven",)}
+
+    def test_tuple_destructuring_in_atom(self):
+        prog = """
+        input relation R(pair: (bigint, string))
+        output relation Out(x: bigint, s: string)
+        Out(x, s) :- R((x, s)).
+        """
+        rt = compile_program(prog).start()
+        rt.transaction(inserts={"R": [((1, "a"),), ((2, "b"),)]})
+        assert rt.dump("Out") == {(1, "a"), (2, "b")}

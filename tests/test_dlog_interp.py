@@ -1,0 +1,177 @@
+"""Unit tests for the expression interpreter (semantics details)."""
+
+import pytest
+
+from repro.dlog import ast as A
+from repro.dlog.interp import Evaluator, _int_div, _int_mod
+from repro.dlog.parser import parse_program
+from repro.dlog.typecheck import check_program
+from repro.dlog.values import MapValue, StructValue
+from repro.errors import EvalError
+
+
+def make_evaluator(prelude=""):
+    checked = check_program(parse_program(prelude or "input relation Nil(x: bool)"))
+    return Evaluator(checked), checked
+
+
+def eval_in_rule(expr_text, env, prelude="", var_decls=""):
+    """Typecheck an expression inside a rule context and evaluate it."""
+    # Build a tiny program binding variables via a relation.
+    cols = ", ".join(f"{name}: {ty}" for name, ty in var_decls)
+    text = f"""
+    {prelude}
+    input relation Env({cols})
+    output relation Out(r: bool)
+    Out(true) :- Env({", ".join(name for name, _ in var_decls)}),
+        var result = {expr_text}, result == result.
+    """
+    checked = check_program(parse_program(text))
+    rule = checked.ast.rules[0]
+    assignment = rule.body[1]
+    evaluator = Evaluator(checked)
+    return evaluator.eval(assignment.expr, env)
+
+
+class TestIntegerSemantics:
+    def test_trunc_division(self):
+        assert _int_div(7, 2) == 3
+        assert _int_div(-7, 2) == -3  # C-style, not Python floor
+        assert _int_div(7, -2) == -3
+
+    def test_trunc_modulo(self):
+        assert _int_mod(7, 2) == 1
+        assert _int_mod(-7, 2) == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            _int_div(1, 0)
+        with pytest.raises(EvalError):
+            _int_mod(1, 0)
+
+    def test_bit_wrap_on_add(self):
+        value = eval_in_rule("x + 1", {"x": 255}, var_decls=[("x", "bit<8>")])
+        assert value == 0
+
+    def test_signed_wrap(self):
+        value = eval_in_rule("x + 1", {"x": 127}, var_decls=[("x", "signed<8>")])
+        assert value == -128
+
+    def test_bigint_does_not_wrap(self):
+        value = eval_in_rule("x + 1", {"x": 2**80}, var_decls=[("x", "bigint")])
+        assert value == 2**80 + 1
+
+    def test_bitwise_not_wraps(self):
+        value = eval_in_rule("~x", {"x": 0}, var_decls=[("x", "bit<8>")])
+        assert value == 255
+
+    def test_shift(self):
+        value = eval_in_rule("x << 4", {"x": 1}, var_decls=[("x", "bit<8>")])
+        assert value == 16
+        value = eval_in_rule("x << 8", {"x": 1}, var_decls=[("x", "bit<8>")])
+        assert value == 0  # shifted out
+
+
+class TestValuesAndCalls:
+    def test_match_binds_fields(self):
+        prelude = "typedef sh_t = Circle{r: bigint} | Square{s: bigint}"
+        value = eval_in_rule(
+            "match (x) { Circle{r} -> r * 3, Square{s} -> s * 4 }",
+            {"x": StructValue("Circle", (5,))},
+            prelude=prelude,
+            var_decls=[("x", "sh_t")],
+        )
+        assert value == 15
+
+    def test_match_no_arm_raises(self):
+        evaluator, _ = make_evaluator()
+        expr = A.MatchExpr(A.Var("x"), [(A.PLit(1), A.Lit(10))])
+        with pytest.raises(EvalError, match="no match arm"):
+            evaluator.eval(expr, {"x": 2})
+
+    def test_user_function_recursion_guard(self):
+        prelude = "function boom(x: bigint): bigint { boom(x) }"
+        with pytest.raises(EvalError, match="depth"):
+            eval_in_rule("boom(x)", {"x": 1}, prelude=prelude,
+                         var_decls=[("x", "bigint")])
+
+    def test_user_function_result_coerced(self):
+        prelude = "function wrap(x: bit<4>): bit<4> { x + 1 }"
+        value = eval_in_rule("wrap(x)", {"x": 15}, prelude=prelude,
+                             var_decls=[("x", "bit<4>")])
+        assert value == 0
+
+    def test_stdlib_via_call(self):
+        evaluator, _ = make_evaluator()
+        assert evaluator.call("len", ["abc"]) == 3
+        assert evaluator.call("to_uppercase", ["ab"]) == "AB"
+        assert evaluator.call("unwrap_or", [StructValue("None", ()), 9]) == 9
+
+    def test_unknown_function_raises(self):
+        evaluator, _ = make_evaluator()
+        with pytest.raises(EvalError, match="unknown function"):
+            evaluator.call("frobnicate", [])
+
+    def test_builtin_error_wrapped(self):
+        evaluator, _ = make_evaluator()
+        with pytest.raises(EvalError):
+            evaluator.call("vec_sort", [(1, "a")])
+
+    def test_field_access_on_struct(self):
+        prelude = "typedef pt = Pt{x: bigint, y: bigint}"
+        value = eval_in_rule(
+            "p.y", {"p": StructValue("Pt", (3, 4))}, prelude=prelude,
+            var_decls=[("p", "pt")],
+        )
+        assert value == 4
+
+    def test_tuple_index(self):
+        value = eval_in_rule(
+            "t.1", {"t": (7, 8)}, var_decls=[("t", "(bigint, bigint)")]
+        )
+        assert value == 8
+
+    def test_map_builtins(self):
+        m = MapValue([("a", 1)])
+        evaluator, _ = make_evaluator()
+        assert evaluator.call("map_contains_key", [m, "a"]) is True
+        m2 = evaluator.call("map_insert", [m, "b", 2])
+        assert m2["b"] == 2
+        assert "b" not in m  # immutability
+
+    def test_hash_is_stable(self):
+        evaluator, _ = make_evaluator()
+        a = evaluator.call("hash64", [("x", 1)])
+        b = evaluator.call("hash64", [("x", 1)])
+        assert a == b
+        assert 0 <= a < 2**64
+
+
+class TestPatternMatching:
+    def test_bind_always_rebinds(self):
+        evaluator, _ = make_evaluator()
+        env = {"x": 1}
+        assert evaluator.match(A.PVar("x"), 2, env, bind_always=True)
+        assert env["x"] == 2
+
+    def test_bind_check_mode_compares(self):
+        evaluator, _ = make_evaluator()
+        env = {"x": 1}
+        assert not evaluator.match(A.PVar("x"), 2, env, bind_always=False)
+        assert evaluator.match(A.PVar("x"), 1, env, bind_always=False)
+
+    def test_tuple_pattern_arity_mismatch(self):
+        evaluator, _ = make_evaluator()
+        pat = A.PTuple([A.PVar("a"), A.PVar("b")])
+        assert not evaluator.match(pat, (1, 2, 3), {}, bind_always=True)
+
+    def test_struct_pattern_wrong_ctor(self):
+        evaluator, _ = make_evaluator()
+        pat = A.PStruct("Some", [(None, A.PVar("v"))])
+        assert not evaluator.match(
+            pat, StructValue("None", ()), {}, bind_always=True
+        )
+
+    def test_wildcard_always_matches(self):
+        evaluator, _ = make_evaluator()
+        assert evaluator.match(A.PWildcard(), object(), {}, bind_always=False)

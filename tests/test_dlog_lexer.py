@@ -1,0 +1,158 @@
+"""Unit tests for the control-plane language lexer."""
+
+import pytest
+
+from repro.dlog.lexer import tokenize
+from repro.errors import LexError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("input relation Port port_id")
+        assert [t.kind for t in toks[:-1]] == ["keyword", "keyword", "ident", "ident"]
+        assert values("input relation Port port_id") == [
+            "input",
+            "relation",
+            "Port",
+            "port_id",
+        ]
+
+    def test_underscore_is_operator(self):
+        toks = tokenize("_")
+        assert toks[0].kind == "op"
+        assert toks[0].value == "_"
+
+    def test_underscore_prefixed_identifier(self):
+        toks = tokenize("_x")
+        assert toks[0].kind == "ident"
+        assert toks[0].value == "_x"
+
+    def test_rule_operator(self):
+        assert values("Label(n, l) :- Edge(n).") == [
+            "Label",
+            "(",
+            "n",
+            ",",
+            "l",
+            ")",
+            ":-",
+            "Edge",
+            "(",
+            "n",
+            ")",
+            ".",
+        ]
+
+
+class TestNumbers:
+    def test_decimal(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "int"
+        assert toks[0].value == (42, None)
+
+    def test_decimal_with_underscores(self):
+        assert tokenize("1_000_000")[0].value == (1000000, None)
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value == (255, None)
+
+    def test_binary(self):
+        assert tokenize("0b1010")[0].value == (10, None)
+
+    def test_sized_decimal(self):
+        assert tokenize("32'd5")[0].value == (5, 32)
+
+    def test_sized_hex(self):
+        assert tokenize("8'hFF")[0].value == (255, 8)
+
+    def test_sized_binary(self):
+        assert tokenize("4'b1010")[0].value == (10, 4)
+
+    def test_float(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind == "float"
+        assert tok.value == 3.25
+
+    def test_float_exponent(self):
+        assert tokenize("1.5e3")[0].value == 1500.0
+        assert tokenize("2e2")[0].value == 200.0
+
+    def test_integer_then_dot_is_not_float(self):
+        # `1.` must lex as int then op (rule terminator), not a float.
+        toks = tokenize("R(1).")
+        assert [t.kind for t in toks[:-1]] == ["ident", "op", "int", "op", "op"]
+
+    def test_bad_sized_literal_base(self):
+        with pytest.raises(LexError):
+            tokenize("8'q12")
+
+    def test_sized_literal_missing_digits(self):
+        with pytest.raises(LexError):
+            tokenize("8'd")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tok = tokenize('"hello"')[0]
+        assert tok.kind == "string"
+        assert tok.value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\t\"c\\"')[0].value == 'a\nb\t"c\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_lex_error_position(self):
+        try:
+            tokenize("abc\n   $")
+        except LexError as e:
+            assert e.line == 2
+            assert e.column == 4
+        else:  # pragma: no cover
+            raise AssertionError("expected LexError")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert values("a<<b <= c << d") == ["a", "<<", "b", "<=", "c", "<<", "d"]
+
+    def test_concat_vs_plus(self):
+        assert values("a ++ b + c") == ["a", "++", "b", "+", "c"]

@@ -1,0 +1,307 @@
+"""Unit tests for the control-plane language parser."""
+
+import pytest
+
+from repro.dlog import ast as A
+from repro.dlog import types as T
+from repro.dlog.parser import parse_program, parse_type
+from repro.errors import ParseError
+
+
+class TestRelationDecls:
+    def test_input_relation(self):
+        prog = parse_program("input relation Port(id: bit<32>, name: string)")
+        (rel,) = prog.relations
+        assert rel.role == "input"
+        assert rel.name == "Port"
+        assert rel.columns == [("id", T.TBit(32)), ("name", T.STRING)]
+
+    def test_output_relation(self):
+        prog = parse_program("output relation Out(x: bigint)")
+        assert prog.relations[0].role == "output"
+
+    def test_internal_relation(self):
+        prog = parse_program("relation Mid(x: bool)")
+        assert prog.relations[0].role == "internal"
+
+    def test_zero_column_relation(self):
+        prog = parse_program("relation Unit()")
+        assert prog.relations[0].arity == 0
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("bool", T.BOOL),
+            ("string", T.STRING),
+            ("bigint", T.BIGINT),
+            ("float", T.FLOAT),
+            ("bit<12>", T.TBit(12)),
+            ("signed<64>", T.TSigned(64)),
+            ("(bit<8>, string)", T.TTuple([T.TBit(8), T.STRING])),
+            ("Vec<string>", T.TVec(T.STRING)),
+            ("Map<string, bit<32>>", T.TMap(T.STRING, T.TBit(32))),
+            ("Option<bool>", T.TUser("Option", [T.BOOL])),
+        ],
+    )
+    def test_parse_type(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_vec_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_type("Vec<bool, bool>")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_type("bool bool")
+
+
+class TestTypedefs:
+    def test_struct_typedef(self):
+        prog = parse_program("typedef pair_t = Pair{a: bit<8>, b: string}")
+        (td,) = prog.typedefs
+        assert td.name == "pair_t"
+        assert not td.is_union
+        assert td.constructors[0].fields[0].name == "a"
+
+    def test_union_typedef(self):
+        prog = parse_program("typedef mode_t = Access | Trunk{native: bit<12>}")
+        (td,) = prog.typedefs
+        assert td.is_union
+        assert [c.name for c in td.constructors] == ["Access", "Trunk"]
+
+    def test_generic_typedef(self):
+        prog = parse_program("typedef box_t<A> = Box{inner: A}")
+        (td,) = prog.typedefs
+        assert td.params == ("A",)
+
+
+class TestRules:
+    def test_fact(self):
+        prog = parse_program('input relation R(x: bigint)\nR(1).')
+        (rule,) = prog.rules
+        assert rule.head.relation == "R"
+        assert rule.body == []
+        assert isinstance(rule.head.args[0], A.PLit)
+
+    def test_simple_rule(self):
+        prog = parse_program("Out(x) :- In(x).")
+        (rule,) = prog.rules
+        assert rule.head.relation == "Out"
+        assert isinstance(rule.body[0], A.AtomItem)
+        assert rule.body[0].atom.relation == "In"
+
+    def test_join_rule(self):
+        prog = parse_program("Label(n2, l) :- Label(n1, l), Edge(n1, n2).")
+        (rule,) = prog.rules
+        assert len(rule.body) == 2
+
+    def test_negated_atom(self):
+        prog = parse_program("Out(x) :- In(x), not Blocked(x).")
+        assert isinstance(prog.rules[0].body[1], A.NegAtom)
+
+    def test_guard(self):
+        prog = parse_program("Out(x) :- In(x), x > 3.")
+        guard = prog.rules[0].body[1]
+        assert isinstance(guard, A.Guard)
+        assert isinstance(guard.expr, A.BinOp)
+
+    def test_not_guard_on_expression(self):
+        prog = parse_program("Out(x) :- In(x), not x == 3.")
+        assert isinstance(prog.rules[0].body[1], A.Guard)
+
+    def test_assignment(self):
+        prog = parse_program('Out(y) :- In(x), var y = x + 1.')
+        item = prog.rules[0].body[1]
+        assert isinstance(item, A.Assignment)
+        assert isinstance(item.pattern, A.PVar)
+
+    def test_tuple_destructuring_assignment(self):
+        prog = parse_program("Out(a, b) :- In(p), var (a, b) = p.")
+        item = prog.rules[0].body[1]
+        assert isinstance(item, A.Assignment)
+        assert isinstance(item.pattern, A.PTuple)
+
+    def test_flatmap(self):
+        prog = parse_program("Out(e) :- In(v), var e = FlatMap(v).")
+        item = prog.rules[0].body[1]
+        assert isinstance(item, A.FlatMapItem)
+        assert item.var == "e"
+
+    def test_aggregate(self):
+        prog = parse_program(
+            "PortCount(sw, n) :- Port(p, sw), var n = Aggregate((sw), count())."
+        )
+        item = prog.rules[0].body[1]
+        assert isinstance(item, A.AggregateItem)
+        assert item.group_by == ["sw"]
+        assert item.func == "count"
+
+    def test_aggregate_unknown_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("Out(n) :- In(x), var n = Aggregate((x), frobnicate(x)).")
+
+    def test_wildcard_argument(self):
+        prog = parse_program("Out(x) :- In(x, _).")
+        assert isinstance(prog.rules[0].body[0].atom.args[1], A.PWildcard)
+
+    def test_constant_argument(self):
+        prog = parse_program('Out(x) :- In(x, "access").')
+        arg = prog.rules[0].body[0].atom.args[1]
+        assert isinstance(arg, A.PLit)
+        assert arg.value == "access"
+
+    def test_expression_argument(self):
+        prog = parse_program("Out(x) :- In(x), Idx(x + 1).")
+        arg = prog.rules[0].body[1].atom.args[0]
+        assert isinstance(arg, A.PExpr)
+
+    def test_constructor_pattern_argument(self):
+        prog = parse_program("Out(n) :- In(Trunk{n}).")
+        arg = prog.rules[0].body[0].atom.args[0]
+        assert isinstance(arg, A.PStruct)
+        assert arg.ctor == "Trunk"
+
+    def test_missing_dot_is_error(self):
+        with pytest.raises(ParseError):
+            parse_program("Out(x) :- In(x)")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        prog = parse_program(f"Out(tmp) :- In(x), var tmp = {text}.")
+        item = prog.rules[0].body[1]
+        assert isinstance(item, A.Assignment)
+        return item.expr
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        e = self._expr("x > 1 and x < 5")
+        assert e.op == "and"
+        assert e.left.op == ">"
+
+    def test_parenthesized(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_field_access(self):
+        e = self._expr("x.name")
+        assert isinstance(e, A.Field)
+        assert e.name == "name"
+
+    def test_tuple_index(self):
+        e = self._expr("x.0")
+        assert isinstance(e, A.Field)
+        assert e.name == "0"
+
+    def test_method_call_sugar(self):
+        e = self._expr("x.len()")
+        assert isinstance(e, A.Call)
+        assert e.func == "len"
+        assert isinstance(e.args[0], A.Var)
+
+    def test_function_call(self):
+        e = self._expr("substr(x, 0, 3)")
+        assert isinstance(e, A.Call)
+        assert len(e.args) == 3
+
+    def test_if_expression(self):
+        e = self._expr('if (x > 0) "pos" else "neg"')
+        assert isinstance(e, A.IfExpr)
+
+    def test_if_else_if_chain(self):
+        e = self._expr('if (x > 0) 1 else if (x == 0) 0 else 2')
+        assert isinstance(e.els, A.IfExpr)
+
+    def test_match_expression(self):
+        e = self._expr('match (x) { Some{v} -> v, None -> 0 }')
+        assert isinstance(e, A.MatchExpr)
+        assert len(e.arms) == 2
+
+    def test_struct_expr_named_fields(self):
+        e = self._expr("Trunk{native: 5}")
+        assert isinstance(e, A.StructExpr)
+        assert e.fields[0][0] == "native"
+
+    def test_struct_expr_positional(self):
+        e = self._expr("Pair(1, 2)")
+        assert isinstance(e, A.StructExpr)
+        assert e.fields[0][0] is None
+
+    def test_nullary_constructor(self):
+        e = self._expr("None")
+        assert isinstance(e, A.StructExpr)
+        assert e.ctor == "None"
+
+    def test_vec_literal(self):
+        e = self._expr("[1, 2, 3]")
+        assert isinstance(e, A.VecExpr)
+        assert len(e.elems) == 3
+
+    def test_cast(self):
+        e = self._expr("x as bit<16>")
+        assert isinstance(e, A.Cast)
+        assert e.type == T.TBit(16)
+
+    def test_sized_literal(self):
+        e = self._expr("12'd7")
+        assert isinstance(e, A.Lit)
+        assert e.value == 7
+        assert e.width == 12
+
+    def test_string_concat(self):
+        e = self._expr('"a" ++ x')
+        assert e.op == "++"
+
+
+class TestFunctions:
+    def test_function_decl(self):
+        prog = parse_program(
+            "function add1(x: bigint): bigint { x + 1 }"
+        )
+        (fn,) = prog.functions
+        assert fn.name == "add1"
+        assert fn.params == [("x", T.BIGINT)]
+        assert fn.return_type == T.BIGINT
+
+    def test_function_with_match(self):
+        prog = parse_program(
+            """
+            typedef mode_t = Access | Trunk{native: bit<12>}
+            function tag(m: mode_t): bit<12> {
+                match (m) { Access -> 1, Trunk{n} -> n }
+            }
+            """
+        )
+        assert prog.functions[0].name == "tag"
+
+
+class TestWholeProgram:
+    def test_paper_label_program(self):
+        # The exact program from the paper's introduction (modulo types).
+        prog = parse_program(
+            """
+            input relation GivenLabel(n1: bit<32>, label: string)
+            input relation Edge(n1: bit<32>, n2: bit<32>)
+            output relation Label(n: bit<32>, label: string)
+
+            Label(n1, label) :- GivenLabel(n1, label).
+            Label(n2, label) :- Label(n1, label), Edge(n1, n2).
+            """
+        )
+        assert len(prog.relations) == 3
+        assert len(prog.rules) == 2
+
+    def test_error_carries_position(self):
+        try:
+            parse_program("input relation (x: bool)")
+        except ParseError as e:
+            assert e.line == 1
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")

@@ -1,0 +1,114 @@
+"""Unit tests for dependency analysis and stratification."""
+
+import pytest
+
+from repro.dlog.parser import parse_program
+from repro.dlog.stratify import rule_dependencies, stratify
+from repro.errors import StratificationError
+
+
+def strat_of(text):
+    prog = parse_program(text)
+    return stratify([r.name for r in prog.relations], prog.rules)
+
+
+class TestRuleDependencies:
+    def test_positive_and_negative(self):
+        prog = parse_program("Out(x) :- A(x), not B(x).")
+        deps = rule_dependencies(prog.rules[0])
+        assert ("A", "positive") in deps
+        assert ("B", "negative") in deps
+
+    def test_aggregate_marks_body_negative(self):
+        prog = parse_program(
+            "Out(k, n) :- A(k, v), var n = Aggregate((k), count())."
+        )
+        deps = rule_dependencies(prog.rules[0])
+        assert deps == [("A", "negative")]
+
+
+class TestStratification:
+    def test_linear_chain_order(self):
+        strat = strat_of(
+            """
+            input relation A(x: bigint)
+            relation B(x: bigint)
+            output relation C(x: bigint)
+            B(x) :- A(x).
+            C(x) :- B(x).
+            """
+        )
+        order = [scc[0] for scc in strat.order]
+        assert order.index("A") < order.index("B") < order.index("C")
+        assert not any(strat.recursive)
+
+    def test_self_loop_is_recursive(self):
+        strat = strat_of(
+            """
+            input relation E(a: bigint, b: bigint)
+            output relation R(a: bigint, b: bigint)
+            R(a, b) :- E(a, b).
+            R(a, c) :- R(a, b), E(b, c).
+            """
+        )
+        assert strat.is_recursive_relation("R")
+        assert not strat.is_recursive_relation("E")
+
+    def test_mutual_recursion_in_one_scc(self):
+        strat = strat_of(
+            """
+            input relation S(x: bigint, y: bigint)
+            output relation Even(x: bigint)
+            output relation Odd(x: bigint)
+            Odd(y) :- Even(x), S(x, y).
+            Even(y) :- Odd(x), S(x, y).
+            """
+        )
+        idx = strat.scc_of["Even"]
+        assert strat.scc_of["Odd"] == idx
+        assert strat.recursive[idx]
+
+    def test_negation_below_recursion_allowed(self):
+        strat = strat_of(
+            """
+            input relation E(a: bigint, b: bigint)
+            input relation Down(a: bigint)
+            output relation R(a: bigint)
+            R(a) :- E(a, _), not Down(a).
+            R(b) :- R(a), E(a, b), not Down(b).
+            """
+        )
+        assert strat.is_recursive_relation("R")
+
+    def test_negation_inside_cycle_rejected(self):
+        with pytest.raises(StratificationError, match="negation"):
+            strat_of(
+                """
+                input relation E(x: bigint)
+                output relation A(x: bigint)
+                output relation B(x: bigint)
+                A(x) :- E(x), not B(x).
+                B(x) :- A(x).
+                """
+            )
+
+    def test_aggregation_inside_cycle_rejected(self):
+        with pytest.raises(StratificationError):
+            strat_of(
+                """
+                input relation E(a: bigint, b: bigint)
+                output relation R(a: bigint, n: bigint)
+                R(a, n) :- E(a, b), R(b, _), var n = Aggregate((a), count()).
+                """
+            )
+
+    def test_large_chain_does_not_blow_stack(self):
+        # The iterative Tarjan must handle deep dependency chains.
+        n = 3000
+        decls = ["input relation R0(x: bigint)"]
+        rules = []
+        for i in range(1, n):
+            decls.append(f"relation R{i}(x: bigint)")
+            rules.append(f"R{i}(x) :- R{i - 1}(x).")
+        strat = strat_of("\n".join(decls + rules))
+        assert len(strat.order) == n

@@ -1,0 +1,324 @@
+"""Unit tests for the rule/expression typechecker."""
+
+import pytest
+
+from repro.dlog import types as T
+from repro.dlog.parser import parse_program
+from repro.dlog.typecheck import check_program
+from repro.errors import TypeCheckError
+
+
+def check(text):
+    return check_program(parse_program(text))
+
+
+class TestRelationChecks:
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("input relation R(x: bool)\ninput relation R(x: bool)")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("input relation R(x: bool, x: string)")
+
+    def test_unknown_relation_in_body(self):
+        with pytest.raises(TypeCheckError, match="unknown relation"):
+            check("output relation Out(x: bool)\nOut(x) :- Nope(x).")
+
+    def test_unknown_type_in_column(self):
+        with pytest.raises(TypeCheckError, match="unknown type"):
+            check("input relation R(x: frobnitz)")
+
+    def test_arity_mismatch_in_body(self):
+        with pytest.raises(TypeCheckError, match="argument"):
+            check(
+                "input relation R(x: bool, y: bool)\n"
+                "output relation Out(x: bool)\n"
+                "Out(x) :- R(x)."
+            )
+
+    def test_rule_into_input_relation_rejected(self):
+        with pytest.raises(TypeCheckError, match="input relation"):
+            check(
+                "input relation A(x: bool)\n"
+                "input relation B(x: bool)\n"
+                "A(x) :- B(x)."
+            )
+
+
+class TestRuleTyping:
+    def test_variable_type_from_atom(self):
+        chk = check(
+            "input relation R(x: bit<32>)\noutput relation Out(x: bit<32>)\n"
+            "Out(x) :- R(x)."
+        )
+        rule = chk.ast.rules[0]
+        assert chk.rule_vars[id(rule)] == {"x": T.TBit(32)}
+
+    def test_join_variable_types_must_agree(self):
+        with pytest.raises(TypeCheckError, match="type"):
+            check(
+                "input relation A(x: bit<32>)\n"
+                "input relation B(x: string)\n"
+                "output relation Out(x: bit<32>)\n"
+                "Out(x) :- A(x), B(x)."
+            )
+
+    def test_head_type_mismatch(self):
+        with pytest.raises(TypeCheckError, match="head column"):
+            check(
+                "input relation R(x: bit<32>)\n"
+                "output relation Out(x: string)\n"
+                "Out(x) :- R(x)."
+            )
+
+    def test_guard_must_be_bool(self):
+        with pytest.raises(TypeCheckError, match="guard"):
+            check(
+                "input relation R(x: bigint)\noutput relation Out(x: bigint)\n"
+                "Out(x) :- R(x), x + 1."
+            )
+
+    def test_negation_cannot_bind(self):
+        with pytest.raises(TypeCheckError, match="unbound"):
+            check(
+                "input relation A(x: bigint)\n"
+                "input relation B(x: bigint, y: bigint)\n"
+                "output relation Out(x: bigint)\n"
+                "Out(x) :- A(x), not B(x, y)."
+            )
+
+    def test_negation_with_wildcard_ok(self):
+        check(
+            "input relation A(x: bigint)\n"
+            "input relation B(x: bigint, y: bigint)\n"
+            "output relation Out(x: bigint)\n"
+            "Out(x) :- A(x), not B(x, _)."
+        )
+
+    def test_wildcard_in_head_rejected(self):
+        with pytest.raises(TypeCheckError, match="wildcard"):
+            check(
+                "input relation R(x: bool)\noutput relation Out(x: bool)\n"
+                "Out(_) :- R(_)."
+            )
+
+    def test_assignment_binds(self):
+        chk = check(
+            "input relation R(x: bigint)\noutput relation Out(y: bigint)\n"
+            "Out(y) :- R(x), var y = x * 2."
+        )
+        rule = chk.ast.rules[0]
+        assert chk.rule_vars[id(rule)]["y"] == T.BIGINT
+
+    def test_assignment_rebind_rejected(self):
+        with pytest.raises(TypeCheckError, match="already bound"):
+            check(
+                "input relation R(x: bigint)\noutput relation Out(x: bigint)\n"
+                "Out(x) :- R(x), var x = 1."
+            )
+
+    def test_literal_adopts_column_type(self):
+        check(
+            "input relation R(x: bit<12>)\noutput relation Out(x: bit<12>)\n"
+            "Out(x) :- R(x), x > 5."
+        )
+
+    def test_literal_out_of_range_for_column(self):
+        with pytest.raises(TypeCheckError, match="range"):
+            check(
+                "input relation R(x: bit<4>)\noutput relation Out(x: bit<4>)\n"
+                "Out(x) :- R(x), x > 100."
+            )
+
+    def test_flatmap_over_vec(self):
+        chk = check(
+            "input relation R(v: Vec<string>)\noutput relation Out(s: string)\n"
+            "Out(s) :- R(v), var s = FlatMap(v)."
+        )
+        rule = chk.ast.rules[0]
+        assert chk.rule_vars[id(rule)]["s"] == T.STRING
+
+    def test_flatmap_over_non_collection_rejected(self):
+        with pytest.raises(TypeCheckError, match="FlatMap"):
+            check(
+                "input relation R(v: string)\noutput relation Out(s: string)\n"
+                "Out(s) :- R(v), var s = FlatMap(v)."
+            )
+
+    def test_aggregate_scoping(self):
+        chk = check(
+            "input relation Port(p: bit<32>, sw: string)\n"
+            "output relation Count(sw: string, n: bigint)\n"
+            "Count(sw, n) :- Port(p, sw), var n = Aggregate((sw), count())."
+        )
+        rule = chk.ast.rules[0]
+        assert set(chk.rule_vars[id(rule)]) == {"sw", "n"}
+
+    def test_aggregate_using_dropped_var_rejected(self):
+        with pytest.raises(TypeCheckError, match="unbound variable"):
+            check(
+                "input relation Port(p: bit<32>, sw: string)\n"
+                "output relation Bad(sw: string, p: bit<32>)\n"
+                "Bad(sw, p) :- Port(p, sw), var n = Aggregate((sw), count())."
+            )
+
+    def test_sum_aggregate_type(self):
+        chk = check(
+            "input relation M(k: string, v: bit<64>)\n"
+            "output relation S(k: string, total: bit<64>)\n"
+            "S(k, total) :- M(k, v), var total = Aggregate((k), sum(v))."
+        )
+        rule = chk.ast.rules[0]
+        assert chk.rule_vars[id(rule)]["total"] == T.TBit(64)
+
+
+class TestTypedefsAndPatterns:
+    SRC = """
+    typedef mode_t = Access | Trunk{native: bit<12>}
+    input relation Port(id: bit<32>, mode: mode_t)
+    output relation Native(port: bit<32>, vlan: bit<12>)
+    """
+
+    def test_constructor_pattern_in_atom(self):
+        check(self.SRC + "Native(p, v) :- Port(p, Trunk{v}).")
+
+    def test_named_constructor_pattern(self):
+        check(self.SRC + "Native(p, v) :- Port(p, Trunk{native: v}).")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            check(self.SRC + "Native(p, v) :- Port(p, Trunk{nonesuch: v}).")
+
+    def test_wrong_constructor_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "typedef a_t = A{x: bool}\ntypedef b_t = B{x: bool}\n"
+                "input relation R(v: a_t)\noutput relation Out(x: bool)\n"
+                "Out(x) :- R(B{x})."
+            )
+
+    def test_match_expression_over_union(self):
+        check(
+            self.SRC
+            + """
+            Native(p, v) :- Port(p, m),
+                var v = match (m) { Access -> 1, Trunk{n} -> n }.
+            """
+        )
+
+    def test_field_access_on_union_rejected(self):
+        with pytest.raises(TypeCheckError, match="union"):
+            check(self.SRC + "Native(p, m.native) :- Port(p, m).")
+
+    def test_option_some_construction(self):
+        check(
+            "input relation R(x: bigint)\n"
+            "output relation Out(o: Option<bigint>)\n"
+            "Out(Some{x}) :- R(x)."
+        )
+
+    def test_struct_field_access(self):
+        check(
+            "typedef pt = Pt{x: bigint, y: bigint}\n"
+            "input relation R(p: pt)\noutput relation Out(x: bigint)\n"
+            "Out(p.x) :- R(p)."
+        )
+
+
+class TestFunctions:
+    def test_function_return_type_checked(self):
+        with pytest.raises(TypeCheckError, match="return"):
+            check('function f(x: bigint): string { x + 1 }')
+
+    def test_function_call_in_rule(self):
+        check(
+            "function double(x: bigint): bigint { x * 2 }\n"
+            "input relation R(x: bigint)\noutput relation Out(x: bigint)\n"
+            "Out(double(x)) :- R(x)."
+        )
+
+    def test_wrong_argument_count(self):
+        with pytest.raises(TypeCheckError, match="argument"):
+            check(
+                "function double(x: bigint): bigint { x * 2 }\n"
+                "input relation R(x: bigint)\noutput relation Out(x: bigint)\n"
+                "Out(double(x, x)) :- R(x)."
+            )
+
+    def test_builtin_call(self):
+        check(
+            "input relation R(s: string)\noutput relation Out(n: bigint)\n"
+            "Out(len(s)) :- R(s)."
+        )
+
+    def test_builtin_bad_arg(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "input relation R(x: bigint)\noutput relation Out(n: bigint)\n"
+                "Out(len(x)) :- R(x)."
+            )
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeCheckError, match="unknown function"):
+            check(
+                "input relation R(x: bigint)\noutput relation Out(x: bigint)\n"
+                "Out(frob(x)) :- R(x)."
+            )
+
+
+class TestExpressions:
+    PRE = "input relation R(a: bit<8>, s: string)\n"
+
+    def test_mixed_operand_types_rejected(self):
+        with pytest.raises(TypeCheckError, match="disagree|operand"):
+            check(
+                self.PRE + "output relation Out(x: bit<8>)\n"
+                "Out(a) :- R(a, s), var bad = a + s."
+            )
+
+    def test_literal_on_left_adopts_right_type(self):
+        check(
+            self.PRE + "output relation Out(x: bit<8>)\n"
+            "Out(a) :- R(a, s), var y = 1 + a, y > 2."
+        )
+
+    def test_concat_strings(self):
+        check(
+            self.PRE + "output relation Out(x: string)\n"
+            'Out(s ++ "!") :- R(_, s).'
+        )
+
+    def test_unary_minus_on_bit_rejected(self):
+        with pytest.raises(TypeCheckError, match="unary -"):
+            check(
+                self.PRE + "output relation Out(x: bit<8>)\n"
+                "Out(a) :- R(a, _), var y = -a."
+            )
+
+    def test_cast_bit_to_bigint(self):
+        check(
+            self.PRE + "output relation Out(x: bigint)\n"
+            "Out(a as bigint) :- R(a, _)."
+        )
+
+    def test_cast_string_rejected(self):
+        with pytest.raises(TypeCheckError, match="cast"):
+            check(
+                self.PRE + "output relation Out(x: bigint)\n"
+                "Out(s as bigint) :- R(_, s)."
+            )
+
+    def test_if_branch_types_must_agree(self):
+        with pytest.raises(TypeCheckError, match="branches"):
+            check(
+                self.PRE + "output relation Out(x: string)\n"
+                'Out(y) :- R(a, s), var y = if (a > 0) s else 3.'
+            )
+
+    def test_empty_vec_needs_context(self):
+        with pytest.raises(TypeCheckError, match="empty vector"):
+            check(
+                self.PRE + "output relation Out(x: bigint)\n"
+                "Out(len(v)) :- R(a, _), var v = []."
+            )

@@ -1,0 +1,132 @@
+"""Unit and property tests for Z-sets and arrangements."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dlog.dataflow.arrangement import Arrangement
+from repro.dlog.dataflow.zset import ZSet
+
+records = st.tuples(st.integers(-5, 5), st.integers(-5, 5))
+weights = st.integers(-3, 3)
+zset_entries = st.lists(st.tuples(records, weights), max_size=30)
+
+
+def build(entries):
+    z = ZSet()
+    for record, weight in entries:
+        z.add(record, weight)
+    return z
+
+
+class TestZSetBasics:
+    def test_zero_weight_is_dropped(self):
+        z = ZSet()
+        z.add("a", 0)
+        assert len(z) == 0
+
+    def test_cancellation_removes_entry(self):
+        z = ZSet()
+        z.add("a", 2)
+        z.add("a", -2)
+        assert "a" not in z
+        assert len(z) == 0
+
+    def test_weight_accumulates(self):
+        z = ZSet()
+        z.add("a", 1)
+        z.add("a", 3)
+        assert z.weight("a") == 4
+
+    def test_merge(self):
+        a = build([(1, 2), (2, 1)])
+        b = build([(1, -2), (3, 1)])
+        a.merge(b)
+        assert a.weight(1) == 0
+        assert a.weight(2) == 1
+        assert a.weight(3) == 1
+
+    def test_positive_part(self):
+        z = build([("a", 2), ("b", -1)])
+        pos = z.positive_part()
+        assert pos.weight("a") == 1
+        assert "b" not in pos
+
+    def test_is_set(self):
+        assert build([("a", 1)]).is_set()
+        assert not build([("a", 2)]).is_set()
+
+    def test_from_rows(self):
+        z = ZSet.from_rows(["x", "y", "x"])
+        assert z.weight("x") == 2
+
+
+class TestZSetAlgebra:
+    @given(zset_entries)
+    def test_negation_cancels(self, entries):
+        z = build(entries)
+        z.merge(z.negated())
+        assert len(z) == 0
+
+    @given(zset_entries, zset_entries)
+    def test_merge_commutes(self, e1, e2):
+        a1, b1 = build(e1), build(e2)
+        a1.merge(b1)
+        b2, a2 = build(e2), build(e1)
+        b2.merge(a2)
+        assert a1 == b2
+
+    @given(zset_entries, zset_entries, zset_entries)
+    def test_merge_associates(self, e1, e2, e3):
+        left = build(e1)
+        bc = build(e2)
+        bc.merge(build(e3))
+        left.merge(bc)
+
+        right = build(e1)
+        right.merge(build(e2))
+        right.merge(build(e3))
+        assert left == right
+
+    @given(zset_entries)
+    def test_scaled_by_zero_is_empty(self, entries):
+        assert len(build(entries).scaled(0)) == 0
+
+    @given(zset_entries)
+    def test_copy_is_independent(self, entries):
+        z = build(entries)
+        c = z.copy()
+        c.add(("sentinel", 99), 1)
+        assert ("sentinel", 99) not in z
+
+
+class TestArrangement:
+    def test_add_and_group(self):
+        arr = Arrangement()
+        arr.add("k", "r1", 1)
+        arr.add("k", "r2", 2)
+        assert arr.group("k") == {"r1": 1, "r2": 2}
+
+    def test_zero_entries_cleaned(self):
+        arr = Arrangement()
+        arr.add("k", "r", 1)
+        arr.add("k", "r", -1)
+        assert not arr.has_key("k")
+        assert len(arr) == 0
+
+    def test_missing_key_is_empty(self):
+        arr = Arrangement()
+        assert arr.group("nope") == {}
+
+    def test_update_from_zset(self):
+        arr = Arrangement()
+        delta = ZSet({(1, "a"): 1, (2, "b"): 1, (1, "c"): -1})
+        arr.update(delta, key_fn=lambda r: r[0])
+        assert arr.group(1) == {(1, "a"): 1, (1, "c"): -1}
+        assert arr.total_records() == 3
+
+    @given(zset_entries)
+    def test_total_matches_zset(self, entries):
+        z = build(entries)
+        arr = Arrangement()
+        arr.update(z, key_fn=lambda r: r[0])
+        assert arr.total_records() == len(z)

@@ -1,0 +1,106 @@
+"""Property tests for the management-plane value model and wire codec."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.mgmt.schema import ColumnType
+from repro.mgmt.values import check_value, decode_value, encode_value
+
+atoms = {
+    "integer": st.integers(-(2**62), 2**62),
+    "real": st.floats(allow_nan=False, allow_infinity=False, width=32),
+    "boolean": st.booleans(),
+    "string": st.text(max_size=20),
+    "uuid": st.text(alphabet="0123456789abcdef", min_size=8, max_size=8),
+}
+
+
+@st.composite
+def column_values(draw):
+    atom = draw(st.sampled_from(sorted(atoms)))
+    shape = draw(st.sampled_from(["scalar", "optional", "set", "map"]))
+    if shape == "scalar":
+        ctype = ColumnType(atom)
+        value = draw(atoms[atom])
+    elif shape == "optional":
+        ctype = ColumnType(atom, min=0, max=1)
+        value = draw(st.none() | atoms[atom])
+    elif shape == "set":
+        ctype = ColumnType(atom, min=0, max="unlimited")
+        value = frozenset(draw(st.lists(atoms[atom], max_size=5)))
+    else:
+        value_atom = draw(st.sampled_from(sorted(atoms)))
+        ctype = ColumnType(atom, value_atom, min=0, max="unlimited")
+        value = draw(
+            st.dictionaries(atoms[atom], atoms[value_atom], max_size=5)
+        )
+    return ctype, value
+
+
+class TestWireCodec:
+    @settings(suppress_health_check=[HealthCheck.too_slow])
+    @given(column_values())
+    def test_encode_decode_round_trip(self, pair):
+        ctype, value = pair
+        normalized = check_value(ctype, value)
+        wire = encode_value(ctype, normalized)
+        assert decode_value(ctype, wire) == normalized
+
+    @settings(suppress_health_check=[HealthCheck.too_slow])
+    @given(column_values())
+    def test_wire_form_is_json_compatible(self, pair):
+        import json
+
+        ctype, value = pair
+        wire = encode_value(ctype, check_value(ctype, value))
+        json.loads(json.dumps(wire))  # must not raise
+
+    def test_optional_none_encodes_as_empty_set(self):
+        ctype = ColumnType("integer", min=0, max=1)
+        assert encode_value(ctype, None) == ["set", []]
+
+    def test_uuid_tagging(self):
+        ctype = ColumnType("uuid")
+        assert encode_value(ctype, "abc123") == ["uuid", "abc123"]
+        assert decode_value(ctype, ["uuid", "abc123"]) == "abc123"
+
+    def test_scalar_as_singleton_set_decodes(self):
+        ctype = ColumnType("integer")
+        assert decode_value(ctype, ["set", [5]]) == 5
+
+    def test_scalar_multi_set_rejected(self):
+        ctype = ColumnType("integer")
+        with pytest.raises(SchemaError):
+            decode_value(ctype, ["set", [1, 2]])
+
+    def test_optional_multi_set_rejected(self):
+        ctype = ColumnType("integer", min=0, max=1)
+        with pytest.raises(SchemaError):
+            decode_value(ctype, ["set", [1, 2]])
+
+
+class TestCheckValue:
+    def test_bool_not_accepted_as_integer(self):
+        with pytest.raises(SchemaError):
+            check_value(ColumnType("integer"), True)
+
+    def test_set_max_enforced(self):
+        ctype = ColumnType("integer", min=0, max=2)
+        with pytest.raises(SchemaError):
+            check_value(ctype, {1, 2, 3})
+
+    def test_set_min_enforced(self):
+        ctype = ColumnType("integer", min=1, max="unlimited")
+        with pytest.raises(SchemaError):
+            check_value(ctype, frozenset())
+
+    def test_bare_scalar_promoted_to_singleton_set(self):
+        ctype = ColumnType("integer", min=0, max="unlimited")
+        assert check_value(ctype, 5) == frozenset({5})
+
+    def test_map_key_type_enforced(self):
+        ctype = ColumnType("string", "string", min=0, max="unlimited")
+        with pytest.raises(SchemaError):
+            check_value(ctype, {1: "x"})

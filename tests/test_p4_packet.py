@@ -1,0 +1,137 @@
+"""Unit/property tests for bit-exact packet encoding and header codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DataPlaneError
+from repro.p4.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    EthernetView,
+    arp_request,
+    ethernet,
+    int_to_ip,
+    int_to_mac,
+    ip_to_int,
+    ipv4,
+    mac_to_int,
+    udp,
+)
+from repro.p4.packet import BitReader, BitWriter, pack_fields, unpack_fields
+
+
+class TestBitPacking:
+    def test_byte_aligned_round_trip(self):
+        data = pack_fields([(0xAB, 8), (0xCDEF, 16)])
+        assert data == b"\xab\xcd\xef"
+        assert unpack_fields(data, [8, 16]) == [0xAB, 0xCDEF]
+
+    def test_unaligned_fields(self):
+        # VLAN TCI: pcp(3) dei(1) vid(12)
+        data = pack_fields([(5, 3), (1, 1), (0xABC, 12)])
+        assert len(data) == 2
+        assert unpack_fields(data, [3, 1, 12]) == [5, 1, 0xABC]
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(DataPlaneError):
+            w.write(256, 8)
+
+    def test_partial_byte_rejected(self):
+        w = BitWriter()
+        w.write(1, 3)
+        with pytest.raises(DataPlaneError):
+            w.to_bytes()
+
+    def test_short_read_rejected(self):
+        r = BitReader(b"\xff")
+        r.read(4)
+        with pytest.raises(DataPlaneError):
+            r.read(8)
+
+    def test_rest_after_aligned_reads(self):
+        r = BitReader(b"\x01\x02\x03")
+        r.read(8)
+        assert r.rest() == b"\x02\x03"
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 24), st.integers(0, 2**24 - 1)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_round_trip_random_fields(self, specs):
+        fields = [(value & ((1 << width) - 1), width) for width, value in specs]
+        total = sum(w for _, w in fields)
+        pad = (8 - total % 8) % 8
+        if pad:
+            fields.append((0, pad))
+        data = pack_fields(fields)
+        assert unpack_fields(data, [w for _, w in fields]) == [
+            v for v, _ in fields
+        ]
+
+
+class TestAddressCodecs:
+    def test_mac_round_trip(self):
+        assert int_to_mac(mac_to_int("aa:bb:cc:00:11:22")) == "aa:bb:cc:00:11:22"
+
+    def test_ip_round_trip(self):
+        assert int_to_ip(ip_to_int("192.168.1.200")) == "192.168.1.200"
+
+    def test_bad_mac(self):
+        with pytest.raises(ValueError):
+            mac_to_int("aa:bb")
+
+    def test_bad_ip(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3.400")
+
+
+class TestFrames:
+    def test_plain_ethernet(self):
+        frame = ethernet("ff:ff:ff:ff:ff:ff", "aa:00:00:00:00:01", payload=b"hi")
+        view = EthernetView(frame)
+        assert view.dst == "ff:ff:ff:ff:ff:ff"
+        assert view.src == "aa:00:00:00:00:01"
+        assert view.vlan is None
+        assert view.payload == b"hi"
+
+    def test_vlan_tagged(self):
+        frame = ethernet(
+            "aa:00:00:00:00:02",
+            "aa:00:00:00:00:01",
+            vlan=42,
+            pcp=3,
+            payload=b"x",
+        )
+        view = EthernetView(frame)
+        assert view.vlan == 42
+        assert view.pcp == 3
+        assert view.ethertype == ETHERTYPE_IPV4
+        # Raw tag bytes: ethertype 0x8100 at offset 12.
+        assert frame[12:14] == b"\x81\x00"
+
+    def test_ipv4_checksum_valid(self):
+        packet = ipv4("10.0.0.1", "10.0.0.2", payload=udp(1000, 53, b"q"))
+        header = packet[:20]
+        total = 0
+        for i in range(0, 20, 2):
+            total += (header[i] << 8) | header[i + 1]
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF  # ones-complement sum over valid header
+
+    def test_ipv4_total_length(self):
+        packet = ipv4("1.2.3.4", "5.6.7.8", payload=b"abcd")
+        assert ((packet[2] << 8) | packet[3]) == 24
+
+    def test_arp_request_shape(self):
+        pkt = arp_request("aa:00:00:00:00:01", "10.0.0.1", "10.0.0.2")
+        assert len(pkt) == 28
+        assert pkt[6:8] == b"\x00\x01"  # opcode request
+
+    def test_vlan_ethertype_constant(self):
+        assert ETHERTYPE_VLAN == 0x8100

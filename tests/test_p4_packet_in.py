@@ -1,0 +1,76 @@
+"""Packet-in via the CPU port: the punt-to-controller pattern."""
+
+import pytest
+
+from repro.p4.headers import ethernet
+from repro.p4.ir import compile_p4
+from repro.p4.simulator import Simulator
+from repro.p4.tables import FieldMatch, TableEntry
+
+PUNT_P4 = """
+header eth_t { bit<48> dst; bit<48> src; bit<16> ethertype; }
+struct headers_t { eth_t eth; }
+struct meta_t { bit<1> x; }
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+         inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+
+control Ing(inout headers_t hdr, inout meta_t m,
+            inout standard_metadata_t std) {
+    action forward(bit<16> port) { std.egress_spec = port; }
+    action punt() { std.egress_spec = 510; }
+    table fwd {
+        key = { std.ingress_port : exact; }
+        actions = { forward; punt; }
+        default_action = punt();
+    }
+    apply { fwd.apply(); }
+}
+"""
+
+CPU_PORT = 510
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(compile_p4(PUNT_P4), n_ports=8, cpu_port=CPU_PORT)
+
+
+def frame():
+    return ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", payload=b"hi")
+
+
+class TestPacketIn:
+    def test_punted_packet_becomes_packet_in(self, sim):
+        outputs = sim.inject(3, frame())
+        assert outputs == []  # nothing egresses
+        ((ingress, data),) = sim.drain_packet_ins()
+        assert ingress == 3
+        assert data == frame()
+
+    def test_forwarded_packet_is_not_punted(self, sim):
+        sim.table("fwd").insert(
+            TableEntry([FieldMatch.exact(1)], "forward", [2])
+        )
+        outputs = sim.inject(1, frame())
+        assert [p for p, _ in outputs] == [2]
+        assert sim.drain_packet_ins() == []
+
+    def test_callback_fires(self, sim):
+        received = []
+        sim.packet_in_callback = lambda port, data: received.append(port)
+        sim.inject(5, frame())
+        assert received == [5]
+
+    def test_drain_clears(self, sim):
+        sim.inject(1, frame())
+        assert len(sim.drain_packet_ins()) == 1
+        assert sim.drain_packet_ins() == []
+
+    def test_without_cpu_port_high_port_drops(self):
+        sim = Simulator(compile_p4(PUNT_P4), n_ports=8)  # no cpu_port
+        assert sim.inject(1, frame()) == []
+        assert sim.dropped == 1
+        assert sim.packet_ins == []

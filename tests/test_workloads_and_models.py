@@ -1,0 +1,208 @@
+"""Tests for workload generators, the Fig. 3 model, and the OpenFlow
+lowering (p4c-of analog)."""
+
+import pytest
+
+from repro.apps.ovn_model import RELEASES, correlation, simulate_growth
+from repro.p4.ir import compile_p4
+from repro.p4.openflow import OFSwitch, compile_to_openflow, instantiate_entries
+from repro.p4.simulator import Simulator
+from repro.p4.tables import FieldMatch, TableEntry
+from repro.workloads.churn import robotron_churn
+from repro.workloads.loadbalancer import LoadBalancerWorkload
+from repro.workloads.ports import port_add_stream
+from repro.workloads.topology import fat_tree, random_graph
+
+from tests.test_p4_program import SWITCH_P4
+
+
+class TestTopology:
+    def test_fat_tree_structure(self):
+        k = 4
+        edges = fat_tree(k)
+        # k=4: 4 core, 4 pods x (2 agg + 2 edge).  Each agg: 2 core
+        # links + 2 edge links, bidirectional.
+        assert len(edges) == 2 * (k * (k // 2) * (k // 2) * 2)
+        nodes = {n for e in edges for n in e}
+        assert len(nodes) == (k // 2) ** 2 + k * k
+
+    def test_fat_tree_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_random_graph_connected(self):
+        edges = random_graph(50, 120, seed=1)
+        # Every node reachable from 0 by construction.
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a, []).append(b)
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in adjacency.get(stack.pop(), ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        assert seen == set(range(50))
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(20, 40, seed=5) == random_graph(20, 40, seed=5)
+
+
+class TestChurn:
+    def test_event_count_and_mix(self):
+        events = list(robotron_churn(100, 8, 500, seed=2))
+        assert len(events) == 500
+        kinds = {e.kind for e in events}
+        assert kinds <= {"add_port", "del_port", "retag_port", "move_port"}
+        updates = sum(1 for e in events if e.kind in ("retag_port", "move_port"))
+        assert updates > 250  # updates dominate, per the Robotron mix
+
+    def test_deterministic(self):
+        a = [(e.kind, e.port) for e in robotron_churn(50, 4, 100, seed=9)]
+        b = [(e.kind, e.port) for e in robotron_churn(50, 4, 100, seed=9)]
+        assert a == b
+
+    def test_lines_follow_parameter(self):
+        events = list(robotron_churn(100, 8, 300, seed=1, lines_per_change=150))
+        mean_lines = sum(e.lines for e in events) / len(events)
+        assert 100 < mean_lines < 200  # the paper's "over 150 lines" scale
+
+
+class TestPortStream:
+    def test_round_robin_vlans(self):
+        pairs = list(port_add_stream(10, n_vlans=3))
+        assert pairs[0] == (0, 1)
+        assert pairs[3] == (3, 1)
+        assert len(pairs) == 10
+
+
+class TestLoadBalancerWorkload:
+    def test_shapes(self):
+        w = LoadBalancerWorkload(n_lbs=5, backends_per_lb=10, n_switches=4)
+        vips, attach = w.cold_start_rows()
+        assert len(vips) == 50
+        assert len(attach) == 20
+        assert w.derived_entries == 200
+        batches = list(w.deletion_batches())
+        assert len(batches) == 5
+
+
+class TestOvnModel:
+    def test_monotone_growth(self):
+        points = simulate_growth()
+        assert len(points) == len(RELEASES)
+        locs = [p.imperative_loc for p in points]
+        frags = [p.fragments for p in points]
+        assert locs == sorted(locs)
+        assert frags == sorted(frags)
+
+    def test_loc_and_fragments_grow_together(self):
+        points = simulate_growth()
+        r = correlation(
+            [float(p.imperative_loc) for p in points],
+            [float(p.fragments) for p in points],
+        )
+        assert r > 0.97  # Fig. 3's "grown at a similar rate"
+
+    def test_nerpa_stays_an_order_of_magnitude_smaller(self):
+        final = simulate_growth()[-1]
+        assert final.imperative_loc / final.nerpa_loc >= 8
+
+    def test_superlinear_imperative_vs_linear_nerpa(self):
+        points = simulate_growth()
+        # Imperative LoC per feature grows over time (interaction cost);
+        # Nerpa LoC per feature stays near-flat.
+        first, mid, last = points[0], points[len(points) // 2], points[-1]
+        imp_rate_early = (mid.imperative_loc - first.imperative_loc) / (
+            mid.n_features - first.n_features
+        )
+        imp_rate_late = (last.imperative_loc - mid.imperative_loc) / (
+            last.n_features - mid.n_features
+        )
+        assert imp_rate_late > imp_rate_early * 1.1
+        nerpa_rate_early = (mid.nerpa_loc - first.nerpa_loc) / (
+            mid.n_features - first.n_features
+        )
+        nerpa_rate_late = (last.nerpa_loc - mid.nerpa_loc) / (
+            last.n_features - mid.n_features
+        )
+        assert nerpa_rate_late < nerpa_rate_early * 1.5  # near-flat
+
+    def test_deterministic(self):
+        a = [p.as_dict() for p in simulate_growth(seed=7)]
+        b = [p.as_dict() for p in simulate_growth(seed=7)]
+        assert a == b
+
+
+class TestOpenFlowLowering:
+    @pytest.fixture()
+    def pipeline(self):
+        return compile_p4(SWITCH_P4)
+
+    def test_fragment_per_table_action(self, pipeline):
+        program = compile_to_openflow(pipeline)
+        # in_vlan{set_vlan,drop}, learned{NoAction,learn},
+        # fwd{forward,flood} = 6 fragments.
+        assert program.fragment_count == 6
+        assert set(program.table_ids) == {"in_vlan", "learned", "fwd"}
+
+    def test_instantiate_and_execute(self, pipeline):
+        sim = Simulator(pipeline, n_ports=8)
+        sim.table("in_vlan").insert(
+            TableEntry([FieldMatch.exact(1)], "set_vlan", [10])
+        )
+        sim.table("fwd").insert(
+            TableEntry(
+                [FieldMatch.exact(10), FieldMatch.exact(0xAA)], "forward", [3]
+            )
+        )
+        program = compile_to_openflow(pipeline)
+        rules = instantiate_entries(program, sim.tables)
+        switch = OFSwitch(rules)
+        trace = switch.process(
+            {
+                "std.ingress_port": 1,
+                "meta.vlan": 10,
+                "hdr.eth.src": 0xBB,
+                "hdr.eth.dst": 0xAA,
+            }
+        )
+        actions = [name for name, _ in trace]
+        assert "set_vlan" in actions
+        assert ("forward", (3,)) in trace
+
+    def test_default_actions_present_as_low_priority(self, pipeline):
+        sim = Simulator(pipeline, n_ports=8)
+        program = compile_to_openflow(pipeline)
+        rules = instantiate_entries(program, sim.tables)
+        switch = OFSwitch(rules)
+        trace = switch.process(
+            {
+                "std.ingress_port": 5,
+                "meta.vlan": 0,
+                "hdr.eth.src": 1,
+                "hdr.eth.dst": 2,
+            }
+        )
+        # in_vlan default drop fires; learned default learn; fwd flood.
+        assert ("drop", ()) in trace
+
+    def test_priority_ordering(self, pipeline):
+        sim = Simulator(pipeline, n_ports=8)
+        sim.table("in_vlan").insert(
+            TableEntry([FieldMatch.exact(1)], "set_vlan", [10])
+        )
+        program = compile_to_openflow(pipeline)
+        rules = instantiate_entries(program, sim.tables)
+        switch = OFSwitch(rules)
+        trace = switch.process(
+            {
+                "std.ingress_port": 1,
+                "meta.vlan": 0,
+                "hdr.eth.src": 1,
+                "hdr.eth.dst": 2,
+            }
+        )
+        # The concrete entry must beat the default drop.
+        assert trace[0] == ("set_vlan", (10,))
