@@ -17,7 +17,28 @@ Event processing is synchronous and serialized by a lock, so it works
 identically whether the management plane is an in-process
 :class:`~repro.mgmt.database.Database` (callbacks arrive on the writing
 thread) or a remote :class:`~repro.mgmt.client.ManagementClient`
-(callbacks arrive on its reader thread).
+(callbacks arrive on its dispatcher thread).
+
+**Fault tolerance.**  The control plane is the authoritative copy of
+both neighbors' state, so every failure is recovered by *rebuilding
+from the engine*:
+
+* management-plane reconnect → re-issue the monitor subscription, diff
+  the fresh snapshot against the engine's input relations
+  (``runtime.dump``), and push the delete/insert delta through the
+  normal sync path;
+* device reconnect → replay the engine's current output relations as a
+  read-diff full sync (stale entries deleted, missing ones inserted,
+  multicast groups re-applied);
+* a device that fails ``breaker_threshold`` consecutive syncs with a
+  transport error is **quarantined**: the sync loop skips it (healthy
+  devices are never blocked behind a dead one) until its connection
+  recovers, at which point the reconnect full-sync repairs everything
+  it missed.
+
+:meth:`NerpaController.health` reports per-peer connection state,
+retry counts, quarantine flags, and the transition history
+(``connected → retrying → quarantined → recovered``).
 
 Per-sync latency — the interval the paper measures in §4.3 between the
 controller *reading* a change and the data-plane entry being written —
@@ -35,12 +56,17 @@ from repro.core.pipeline import MULTICAST_RELATION, NerpaProject
 from repro.core.typebridge import dlog_value_to_match, ovsdb_value_to_dlog
 from repro.dlog.dataflow.zset import ZSet
 from repro.dlog.values import StructValue
-from repro.errors import ReproError, TypeCheckError
+from repro.errors import ProtocolError, ReproError, TypeCheckError
 from repro.mgmt.database import Database
 from repro.mgmt.monitor import MonitorSpec, TableUpdates
 from repro.p4.simulator import Simulator
 from repro.p4.tables import TableEntry
 from repro.p4runtime.api import DeviceService, TableWrite
+
+#: Exceptions treated as *transport* failures by the circuit breaker.
+#: Semantic rejections (``WriteError`` etc.) still propagate — they
+#: indicate a controller bug, not a flaky peer.
+_TRANSPORT_ERRORS = (ProtocolError, OSError)
 
 
 class _LocalMgmt:
@@ -57,6 +83,12 @@ class _LocalMgmt:
         if self.monitor is not None:
             self.db.remove_monitor(self.monitor)
             self.monitor = None
+
+    def on_reconnect(self, hook) -> None:
+        pass  # in-process databases do not disconnect
+
+    def health(self) -> Dict[str, object]:
+        return {"peer": "local-db", "state": "connected", "transitions": []}
 
 
 class _RemoteMgmt:
@@ -75,6 +107,12 @@ class _RemoteMgmt:
             self.client.monitor_cancel(self.monitor_id)
             self.monitor_id = None
 
+    def on_reconnect(self, hook) -> None:
+        self.client.on_reconnect(hook)
+
+    def health(self) -> Dict[str, object]:
+        return self.client.health()
+
 
 class _LocalDevice:
     def __init__(self, target):
@@ -82,6 +120,7 @@ class _LocalDevice:
             self.service = DeviceService(target)
         else:
             self.service = target
+        self._event_log: List[str] = []
 
     def write(self, updates) -> None:
         self.service.write(updates)
@@ -109,6 +148,19 @@ class _LocalDevice:
 
         sim.digest_callback = chained
 
+    def on_reconnect(self, hook) -> None:
+        pass  # in-process devices do not disconnect
+
+    def note_event(self, tag: str) -> None:
+        self._event_log.append(tag)
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "peer": "local-device",
+            "state": "connected",
+            "transitions": list(self._event_log),
+        }
+
 
 class _RemoteDevice:
     def __init__(self, client):
@@ -128,6 +180,63 @@ class _RemoteDevice:
 
     def attach_digests(self, callback) -> None:
         self.client.subscribe_digests(callback)
+
+    def on_reconnect(self, hook) -> None:
+        self.client.on_reconnect(hook)
+
+    def note_event(self, tag: str) -> None:
+        self.client.conn.note_event(tag)
+
+    def health(self) -> Dict[str, object]:
+        return self.client.health()
+
+
+class _ManagedDevice:
+    """A device plus its circuit-breaker state."""
+
+    def __init__(self, io, name: str):
+        self.io = io
+        self.name = name
+        self.consecutive_failures = 0
+        self.quarantined = False
+        self.syncs_missed = 0
+        self.resyncs = 0
+        self.last_error: Optional[str] = None
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self, exc: BaseException, threshold: int) -> bool:
+        """Returns True if this failure tripped the breaker."""
+        self.consecutive_failures += 1
+        self.last_error = str(exc) or type(exc).__name__
+        if not self.quarantined and self.consecutive_failures >= threshold:
+            self.quarantined = True
+            self.io.note_event("quarantined")
+            return True
+        return False
+
+    def recover(self) -> None:
+        if self.quarantined:
+            self.io.note_event("recovered")
+        self.quarantined = False
+        self.consecutive_failures = 0
+        self.resyncs += 1
+
+    def health(self) -> Dict[str, object]:
+        report = dict(self.io.health())
+        report.update(
+            {
+                "name": self.name,
+                "quarantined": self.quarantined,
+                "consecutive_failures": self.consecutive_failures,
+                "syncs_missed": self.syncs_missed,
+                "resyncs": self.resyncs,
+            }
+        )
+        if self.last_error is not None:
+            report["last_device_error"] = self.last_error
+        return report
 
 
 def _wrap_device(target):
@@ -153,12 +262,22 @@ def _wrap_mgmt(target):
 class NerpaController:
     """Keeps management, control, and data planes synchronized."""
 
-    def __init__(self, project: NerpaProject, mgmt, devices):
+    def __init__(
+        self,
+        project: NerpaProject,
+        mgmt,
+        devices,
+        breaker_threshold: int = 3,
+    ):
         self.project = project
         self.bindings = project.bindings
         self.runtime = project.program.start()
         self.mgmt = _wrap_mgmt(mgmt)
-        self.devices = [_wrap_device(d) for d in devices]
+        self.devices = [
+            _ManagedDevice(_wrap_device(d), f"device-{i}")
+            for i, d in enumerate(devices)
+        ]
+        self.breaker_threshold = breaker_threshold
         self._lock = threading.RLock()
         self._mcast_members: Dict[int, set] = {}
         self._started = False
@@ -173,6 +292,8 @@ class NerpaController:
         self.sync_latencies: List[float] = []
         self.entries_written = 0
         self.digests_processed = 0
+        self.mgmt_reconciles = 0
+        self.device_resyncs = 0
         self.last_result = None
 
         self._ovsdb_tables = list(self.bindings.relation_for_ovsdb)
@@ -199,7 +320,8 @@ class NerpaController:
             raise ReproError("controller already started")
         self._started = True
         for device in self.devices:
-            device.attach_digests(self._on_digest)
+            device.io.attach_digests(self._on_digest)
+            device.io.on_reconnect(self._device_reconnect_hook(device))
         if reconcile:
             # Compute desired state silently (buffer writes), then diff.
             self._buffer_writes = []
@@ -213,10 +335,15 @@ class NerpaController:
             self._push_outputs(self.runtime.initial_result)
             initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
             self._on_updates(initial)
+        self.mgmt.on_reconnect(self._on_mgmt_reconnect)
         return self
 
-    def _reconcile(self, desired_writes: List[TableWrite]) -> None:
-        """Bring every device to exactly the desired entry set."""
+    def _reconcile(
+        self,
+        desired_writes: List[TableWrite],
+        devices: Optional[List[_ManagedDevice]] = None,
+    ) -> None:
+        """Bring every targeted device to exactly the desired entry set."""
         desired: Dict[str, Dict[tuple, TableWrite]] = {}
         for write in desired_writes:
             if write.kind == "INSERT":
@@ -225,12 +352,12 @@ class NerpaController:
                 ] = write
             elif write.kind == "DELETE":
                 desired.get(write.table, {}).pop(write.entry.match_key(), None)
-        for device in self.devices:
+        for device in devices if devices is not None else self.devices:
             fixes: List[TableWrite] = []
             for binding in self.bindings.table_relations.values():
                 table = binding.info.name
                 want = dict(desired.get(table, {}))
-                for existing in device.read_table(table):
+                for existing in device.io.read_table(table):
                     key = existing.entry.match_key()
                     wanted = want.pop(key, None)
                     if wanted is None:
@@ -246,11 +373,16 @@ class NerpaController:
                 fixes.extend(want.values())  # still-missing entries
             fixes.sort(key=lambda w: 0 if w.kind == "DELETE" else 1)
             if fixes:
-                device.write(fixes)
+                device.io.write(fixes)
                 self.entries_written += len(fixes)
 
     def stop(self) -> None:
-        self.mgmt.unsubscribe()
+        # Best-effort: stopping a stack whose management plane is
+        # already down must not raise out of teardown.
+        try:
+            self.mgmt.unsubscribe()
+        except (ProtocolError, OSError):
+            pass
         self._started = False
 
     def __enter__(self) -> "NerpaController":
@@ -258,6 +390,80 @@ class NerpaController:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _on_mgmt_reconnect(self) -> None:
+        """The management channel came back (possibly to a restarted
+        server).  Re-subscribe, then reconcile the fresh snapshot
+        against the engine's input relations: rows that vanished while
+        we were deaf become deletes, new rows become inserts, and the
+        resulting deltas flow through the normal sync path."""
+        with self._lock:
+            if not self._started:
+                return
+            fresh = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
+            inserts: Dict[str, List[tuple]] = {}
+            deletes: Dict[str, List[tuple]] = {}
+            for table in self._ovsdb_tables:
+                relation = self.bindings.relation_for_ovsdb[table]
+                fresh_rows = set()
+                for uuid, update in fresh.table(table).items():
+                    if update.new is not None:
+                        fresh_rows.add(
+                            self._row_to_dlog(table, uuid, update.new)
+                        )
+                current = self.runtime.dump(relation)
+                stale = current - fresh_rows
+                missing = fresh_rows - current
+                if stale:
+                    deletes[relation] = list(stale)
+                if missing:
+                    inserts[relation] = list(missing)
+            self.mgmt_reconciles += 1
+            if not inserts and not deletes:
+                return
+            result = self.runtime.transaction(inserts=inserts, deletes=deletes)
+            self._push_outputs(result)
+            self.sync_count += 1
+            self.last_result = result
+
+    def _device_reconnect_hook(self, device: _ManagedDevice):
+        def hook() -> None:
+            self.resync_device(device)
+
+        return hook
+
+    def resync_device(self, device) -> None:
+        """Full-sync one device from the engine's output relations.
+
+        ``device`` may be a :class:`_ManagedDevice` or an index into
+        :attr:`devices`.  The engine is authoritative: the device's
+        tables are read, diffed against the replayed outputs, and
+        repaired; multicast groups are re-applied.  Clears quarantine.
+        """
+        if isinstance(device, int):
+            device = self.devices[device]
+        with self._lock:
+            self._reconcile(self._desired_writes(), devices=[device])
+            for group, members in sorted(self._mcast_members.items()):
+                if members:
+                    device.io.set_multicast_group(group, sorted(members))
+            device.recover()
+            self.device_resyncs += 1
+
+    def _desired_writes(self) -> List[TableWrite]:
+        """Replay the engine's current output relations as inserts —
+        the authoritative desired state of every device table."""
+        writes: List[TableWrite] = []
+        for relation, binding in self.bindings.table_relations.items():
+            for row in self.runtime.dump(relation):
+                writes.append(
+                    TableWrite.insert(
+                        binding.info.name, self._row_to_entry(binding, row)
+                    )
+                )
+        return writes
 
     # -- management-plane events ---------------------------------------------------
 
@@ -339,8 +545,28 @@ class NerpaController:
             self._buffer_writes.extend(writes)
             return
         for device in self.devices:
-            device.write(writes)
-        self.entries_written += len(writes)
+            if self._breaker_write(device, lambda io: io.write(writes)):
+                self.entries_written += len(writes)
+
+    def _breaker_write(self, device: _ManagedDevice, op) -> bool:
+        """Apply ``op`` to one device through its circuit breaker.
+
+        Returns True if the write was applied.  Quarantined devices are
+        skipped (their state is repaired wholesale on recovery); a
+        transport failure counts toward the breaker threshold.  Semantic
+        rejections propagate — they are bugs, not outages.
+        """
+        if device.quarantined:
+            device.syncs_missed += 1
+            return False
+        try:
+            op(device.io)
+        except _TRANSPORT_ERRORS as exc:
+            device.record_failure(exc, self.breaker_threshold)
+            device.syncs_missed += 1
+            return False
+        device.record_success()
+        return True
 
     def _delta_to_writes(self, binding: TableBinding, delta: ZSet) -> List[TableWrite]:
         writes = []
@@ -395,13 +621,29 @@ class NerpaController:
             members = self._mcast_members.get(group, set())
             for device in self.devices:
                 if members:
-                    device.set_multicast_group(group, sorted(members))
+                    self._breaker_write(
+                        device,
+                        lambda io: io.set_multicast_group(
+                            group, sorted(members)
+                        ),
+                    )
                 else:
-                    device.delete_multicast_group(group)
+                    self._breaker_write(
+                        device, lambda io: io.delete_multicast_group(group)
+                    )
             if not members:
                 self._mcast_members.pop(group, None)
 
     # -- introspection ---------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Per-peer connection state, retry counters, and transitions."""
+        return {
+            "mgmt": self.mgmt.health(),
+            "devices": [device.health() for device in self.devices],
+            "mgmt_reconciles": self.mgmt_reconciles,
+            "device_resyncs": self.device_resyncs,
+        }
 
     def metrics(self) -> Dict[str, object]:
         latencies = self.sync_latencies
@@ -409,6 +651,8 @@ class NerpaController:
             "syncs": self.sync_count,
             "entries_written": self.entries_written,
             "digests_processed": self.digests_processed,
+            "mgmt_reconciles": self.mgmt_reconciles,
+            "device_resyncs": self.device_resyncs,
             "mean_sync_latency": (
                 sum(latencies) / len(latencies) if latencies else 0.0
             ),

@@ -67,6 +67,11 @@ class ProtocolError(ReproError):
     """Malformed or unexpected message on a wire protocol."""
 
 
+class ConnectionLostError(ProtocolError):
+    """The transport under a wire protocol died (and, for a resilient
+    connection, could not be re-established in time)."""
+
+
 class DataPlaneError(ReproError):
     """Error while compiling or executing a data-plane program."""
 

@@ -1,109 +1,68 @@
 """Blocking client for the management protocol.
 
-The client owns a reader thread: responses are matched to calls by id
-and handed back to the blocked caller; ``update`` notifications are
-decoded into :class:`~repro.mgmt.monitor.TableUpdates` and dispatched to
-the registered monitor callback.  This keeps consumers (the Nerpa
-controller, tests, benchmarks) free of event-loop plumbing.
+Transport (sockets, reader thread, reconnection) is delegated to a
+:class:`~repro.net.resilient.ResilientConnection`; this layer keeps
+only protocol knowledge: monitor bookkeeping, schema caching, and
+decoding wire rows into :class:`~repro.mgmt.monitor.TableUpdates`.
+
+When the underlying connection is lost and re-established, all monitor
+subscriptions are invalid — the server (possibly a fresh process) has
+no memory of them.  The client drops its local monitor table and fires
+registered ``on_reconnect`` callbacks; the Nerpa controller uses that
+hook to re-subscribe and reconcile (see
+:meth:`repro.core.controller.NerpaController.health`).
 """
 
 from __future__ import annotations
 
-import socket
-import threading
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.errors import ProtocolError, TransactionError
-from repro.mgmt.jsonrpc import (
-    NotificationDispatcher,
-    classify,
-    make_request,
-    recv_message,
-    send_message,
-)
+from repro.errors import TransactionError
 from repro.mgmt.monitor import RowUpdate, TableUpdates
 from repro.mgmt.schema import DatabaseSchema
 from repro.mgmt.values import row_from_wire
+from repro.net.resilient import ResilientConnection
+from repro.net.retry import RetryPolicy
 
 _DEFAULT_TIMEOUT = 30.0
-
-
-class _PendingCall:
-    __slots__ = ("event", "result", "error")
-
-    def __init__(self):
-        self.event = threading.Event()
-        self.result = None
-        self.error = None
 
 
 class ManagementClient:
     """Connects to a :class:`~repro.mgmt.server.ManagementServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = _DEFAULT_TIMEOUT):
-        self.sock = socket.create_connection((host, port), timeout=10.0)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self.sock.settimeout(None)
-        self.timeout = timeout
-        self._send_lock = threading.Lock()
-        self._pending: Dict[int, _PendingCall] = {}
-        self._pending_lock = threading.Lock()
-        self._next_id = 0
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+        connect_timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        if policy is None:
+            policy = RetryPolicy(
+                connect_timeout=(
+                    connect_timeout if connect_timeout is not None else 10.0
+                ),
+                call_timeout=timeout,
+            )
+        self.timeout = policy.call_timeout
         self._monitor_callbacks: Dict[str, Callable[[TableUpdates], None]] = {}
         self._schema: Optional[DatabaseSchema] = None
-        self._closed = False
-        self._dispatcher = NotificationDispatcher("mgmt-client-dispatch")
-        self._reader = threading.Thread(
-            target=self._read_loop, name="mgmt-client-reader", daemon=True
+        self._reconnect_hooks: List[Callable[[], None]] = []
+        self.conn = ResilientConnection(
+            host,
+            port,
+            policy=policy,
+            name="mgmt-client",
+            on_notification=self._handle_notification,
+            error_type=TransactionError,
         )
-        self._reader.start()
+        self.conn.on_reconnect(self._on_transport_reconnect)
 
     # -- plumbing -----------------------------------------------------------
 
-    def call(self, method: str, params) -> object:
-        with self._pending_lock:
-            self._next_id += 1
-            request_id = self._next_id
-            pending = _PendingCall()
-            self._pending[request_id] = pending
-        with self._send_lock:
-            send_message(self.sock, make_request(method, params, request_id))
-        if not pending.event.wait(self.timeout):
-            with self._pending_lock:
-                self._pending.pop(request_id, None)
-            raise ProtocolError(f"timeout waiting for {method} response")
-        if pending.error is not None:
-            raise TransactionError(str(pending.error))
-        return pending.result
-
-    def _read_loop(self) -> None:
-        try:
-            while not self._closed:
-                message = recv_message(self.sock)
-                if message is None:
-                    break
-                kind = classify(message)
-                if kind == "response":
-                    with self._pending_lock:
-                        pending = self._pending.pop(message["id"], None)
-                    if pending is not None:
-                        pending.result = message.get("result")
-                        pending.error = message.get("error")
-                        pending.event.set()
-                elif kind == "notification":
-                    self._handle_notification(message)
-        except (ProtocolError, OSError):
-            pass
-        finally:
-            self._fail_all_pending()
-
-    def _fail_all_pending(self) -> None:
-        with self._pending_lock:
-            pending = list(self._pending.values())
-            self._pending.clear()
-        for p in pending:
-            p.error = "connection closed"
-            p.event.set()
+    def call(self, method: str, params, retryable: bool = False) -> object:
+        return self.conn.call(method, params, retryable=retryable)
 
     def _handle_notification(self, message: dict) -> None:
         if message.get("method") != "update":
@@ -111,23 +70,34 @@ class ManagementClient:
         monitor_id, wire_updates = message["params"]
         callback = self._monitor_callbacks.get(monitor_id)
         if callback is not None:
-            # Decode on the reader thread (cheap, keeps ordering), run
-            # the callback on the dispatcher so it may call back into
-            # this client without deadlocking.
-            updates = self._decode_updates(wire_updates)
-            self._dispatcher.submit(callback, updates)
+            callback(self._decode_updates(wire_updates))
+
+    def _on_transport_reconnect(self) -> None:
+        # Server-side monitor state died with the old connection; a
+        # restarted server may not even share our schema cache.
+        self._monitor_callbacks.clear()
+        for hook in list(self._reconnect_hooks):
+            hook()
+
+    def on_reconnect(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after each reconnect (monitors already cleared);
+        use it to re-subscribe and reconcile."""
+        self._reconnect_hooks.append(hook)
+
+    def health(self) -> Dict[str, object]:
+        return self.conn.health()
 
     # -- API ------------------------------------------------------------------
 
     def get_schema(self) -> DatabaseSchema:
         if self._schema is None:
             self._schema = DatabaseSchema.from_json(
-                self.call("get_schema", [])
+                self.call("get_schema", [], retryable=True)
             )
         return self._schema
 
     def echo(self, payload) -> object:
-        return self.call("echo", payload)
+        return self.call("echo", payload, retryable=True)
 
     def transact(self, operations) -> list:
         return self.call("transact", list(operations))
@@ -139,8 +109,8 @@ class ManagementClient:
     ):
         """Subscribe; returns ``(monitor_id, initial TableUpdates)``.
 
-        ``callback`` runs on the reader thread — keep it quick (the
-        Nerpa controller just enqueues).
+        ``callback`` runs on the connection's dispatcher thread — it may
+        call back into this client.
         """
         result = self.call("monitor", [tables])
         monitor_id = result["monitor_id"]
@@ -171,16 +141,7 @@ class ManagementClient:
         return updates
 
     def close(self) -> None:
-        self._closed = True
-        self._dispatcher.close()
-        try:
-            self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        self.conn.close()
 
     def __enter__(self) -> "ManagementClient":
         return self

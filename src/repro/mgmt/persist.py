@@ -108,7 +108,13 @@ def restore(directory: str, schema: Optional[DatabaseSchema] = None) -> Database
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves a torn final line; every
+                    # complete record before it is still good.  Nothing
+                    # can follow a torn write, so stop replaying here.
+                    break
                 for table, rows in record.items():
                     tschema = db.schema.table(table)
                     store = db._tables[table]

@@ -74,6 +74,13 @@ class _Connection:
         for monitor in self.monitors.values():
             self.server.db.remove_monitor(monitor)
         self.monitors.clear()
+        # shutdown() both wakes this connection's reader thread out of
+        # recv() and sends the peer a FIN; close() alone does neither
+        # while the reader holds the fd in a blocked syscall.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.sock.close()
         except OSError:
@@ -206,7 +213,15 @@ class ManagementServer:
                 sock, peer = self._listener.accept()
             except OSError:
                 break
+            if not self._running:  # raced with stop()
+                sock.close()
+                break
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Accepted sockets must carry SO_REUSEADDR themselves: their
+            # lingering close states (FIN_WAIT, TIME_WAIT) would
+            # otherwise block an immediate restart of this server on
+            # the same port.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             conn = _Connection(self, sock, peer)
             with self._conn_lock:
                 self._connections.append(conn)
@@ -222,6 +237,13 @@ class ManagementServer:
     def stop(self) -> None:
         self._running = False
         if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone leaves the kernel LISTEN socket alive (held by the
+            # in-flight accept) and the port unbindable.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:

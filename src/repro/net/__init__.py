@@ -1,0 +1,31 @@
+"""Fault-tolerant transport layer shared by all wire-protocol clients.
+
+``repro.net`` packages the robustness mechanics the paper's
+"full-stack" pitch presumes but the original prototype leaves to the
+operator: retry policies with exponential backoff
+(:class:`~repro.net.retry.RetryPolicy`), reconnecting RPC transport
+(:class:`~repro.net.resilient.ResilientConnection`), and controlled
+fault injection for tests and benchmarks
+(:class:`~repro.net.faults.FaultInjector`).
+"""
+
+from repro.net.faults import FaultInjector
+from repro.net.resilient import (
+    BROKEN,
+    CLOSED,
+    CONNECTED,
+    RETRYING,
+    ResilientConnection,
+)
+from repro.net.retry import FAST_TEST_POLICY, RetryPolicy
+
+__all__ = [
+    "BROKEN",
+    "CLOSED",
+    "CONNECTED",
+    "RETRYING",
+    "FAST_TEST_POLICY",
+    "FaultInjector",
+    "ResilientConnection",
+    "RetryPolicy",
+]

@@ -1,123 +1,109 @@
-"""Blocking client for the P4Runtime-style API."""
+"""Blocking client for the P4Runtime-style API.
+
+Transport is a :class:`~repro.net.resilient.ResilientConnection`; this
+layer keeps protocol knowledge only.  Digest and packet-in
+subscriptions are session state on the server — after a reconnect the
+client re-issues them automatically before running any registered
+``on_reconnect`` hooks (the controller's hook then replays table state;
+see :class:`~repro.core.controller.NerpaController`).
+"""
 
 from __future__ import annotations
 
-import socket
-import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ProtocolError, RuntimeApiError
-from repro.mgmt.jsonrpc import (
-    NotificationDispatcher,
-    classify,
-    make_request,
-    recv_message,
-    send_message,
-)
+from repro.errors import RuntimeApiError
+from repro.net.resilient import ResilientConnection
+from repro.net.retry import RetryPolicy
 from repro.p4runtime.api import TableWrite
 
 _DEFAULT_TIMEOUT = 30.0
 
 
-class _PendingCall:
-    __slots__ = ("event", "result", "error")
-
-    def __init__(self):
-        self.event = threading.Event()
-        self.result = None
-        self.error = None
-
-
 class P4RuntimeClient:
     """Talks to a :class:`~repro.p4runtime.server.P4RuntimeServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = _DEFAULT_TIMEOUT):
-        self.sock = socket.create_connection((host, port), timeout=10.0)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self.sock.settimeout(None)
-        self.timeout = timeout
-        self._send_lock = threading.Lock()
-        self._pending: Dict[int, _PendingCall] = {}
-        self._pending_lock = threading.Lock()
-        self._next_id = 0
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+        connect_timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        if policy is None:
+            policy = RetryPolicy(
+                connect_timeout=(
+                    connect_timeout if connect_timeout is not None else 10.0
+                ),
+                call_timeout=timeout,
+            )
+        self.timeout = policy.call_timeout
         self._digest_callback: Optional[
             Callable[[str, Tuple[int, ...]], None]
         ] = None
         self._packet_in_callback: Optional[
             Callable[[int, bytes], None]
         ] = None
-        self._closed = False
-        self._dispatcher = NotificationDispatcher("p4rt-client-dispatch")
-        threading.Thread(
-            target=self._read_loop, name="p4rt-client-reader", daemon=True
-        ).start()
+        self._reconnect_hooks: List[Callable[[], None]] = []
+        self.conn = ResilientConnection(
+            host,
+            port,
+            policy=policy,
+            name="p4rt-client",
+            on_notification=self._handle_notification,
+            error_type=RuntimeApiError,
+        )
+        self.conn.on_reconnect(self._on_transport_reconnect)
 
-    def call(self, method: str, params) -> object:
-        with self._pending_lock:
-            self._next_id += 1
-            request_id = self._next_id
-            pending = _PendingCall()
-            self._pending[request_id] = pending
-        with self._send_lock:
-            send_message(self.sock, make_request(method, params, request_id))
-        if not pending.event.wait(self.timeout):
-            with self._pending_lock:
-                self._pending.pop(request_id, None)
-            raise ProtocolError(f"timeout waiting for {method} response")
-        if pending.error is not None:
-            raise RuntimeApiError(str(pending.error))
-        return pending.result
+    def call(self, method: str, params, retryable: bool = False) -> object:
+        return self.conn.call(method, params, retryable=retryable)
 
-    def _read_loop(self) -> None:
-        try:
-            while not self._closed:
-                message = recv_message(self.sock)
-                if message is None:
-                    break
-                kind = classify(message)
-                if kind == "response":
-                    with self._pending_lock:
-                        pending = self._pending.pop(message["id"], None)
-                    if pending is not None:
-                        pending.result = message.get("result")
-                        pending.error = message.get("error")
-                        pending.event.set()
-                elif kind == "notification" and message["method"] == "digest":
-                    callback = self._digest_callback
-                    if callback is not None:
-                        name, values = message["params"]
-                        # Off-thread so the callback may call back into
-                        # this client (the controller writes table
-                        # entries in response to digests).
-                        self._dispatcher.submit(callback, name, tuple(values))
-                elif kind == "notification" and message["method"] == "packet_in":
-                    callback = self._packet_in_callback
-                    if callback is not None:
-                        port, hex_data = message["params"]
-                        self._dispatcher.submit(
-                            callback, port, bytes.fromhex(hex_data)
-                        )
-        except (ProtocolError, OSError):
-            pass
-        finally:
-            with self._pending_lock:
-                pending = list(self._pending.values())
-                self._pending.clear()
-            for p in pending:
-                p.error = "connection closed"
-                p.event.set()
+    def _handle_notification(self, message: dict) -> None:
+        method = message.get("method")
+        if method == "digest":
+            callback = self._digest_callback
+            if callback is not None:
+                name, values = message["params"]
+                callback(name, tuple(values))
+        elif method == "packet_in":
+            callback = self._packet_in_callback
+            if callback is not None:
+                port, hex_data = message["params"]
+                callback(port, bytes.fromhex(hex_data))
+
+    def _on_transport_reconnect(self) -> None:
+        # Re-establish session subscriptions first so no digest window
+        # is left open while hooks replay state.
+        if self._digest_callback is not None:
+            self.call("subscribe_digests", [], retryable=True)
+        if self._packet_in_callback is not None:
+            self.call("subscribe_packet_ins", [], retryable=True)
+        for hook in list(self._reconnect_hooks):
+            hook()
+
+    def on_reconnect(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after each reconnect (subscriptions already
+        re-issued); use it to resynchronize device state."""
+        self._reconnect_hooks.append(hook)
+
+    def health(self) -> Dict[str, object]:
+        return self.conn.health()
 
     # -- API -----------------------------------------------------------------
 
     def get_p4info(self) -> dict:
-        return self.call("get_p4info", [])
+        return self.call("get_p4info", [], retryable=True)
+
+    def echo(self, payload) -> object:
+        return self.call("echo", payload, retryable=True)
 
     def write(self, updates: Sequence[TableWrite]) -> int:
         result = self.call("write", [u.to_wire() for u in updates])
         return result["applied"]
 
     def read_table(self, table: str) -> List[TableWrite]:
-        result = self.call("read_table", [table])
+        result = self.call("read_table", [table], retryable=True)
         return [TableWrite.from_wire(e) for e in result["entries"]]
 
     def set_default_action(self, table: str, action: str, params: Sequence[int]) -> None:
@@ -150,16 +136,7 @@ class P4RuntimeClient:
         return [(p, bytes.fromhex(h)) for p, h in result["outputs"]]
 
     def close(self) -> None:
-        self._closed = True
-        self._dispatcher.close()
-        try:
-            self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        self.conn.close()
 
     def __enter__(self) -> "P4RuntimeClient":
         return self

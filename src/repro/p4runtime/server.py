@@ -2,6 +2,7 @@
 
 Methods:
 
+* ``echo [...]`` — returns its params (keepalive/heartbeat);
 * ``get_p4info []``
 * ``write [update, ...]`` — atomic batch of table writes;
 * ``read_table [table]``
@@ -54,6 +55,13 @@ class _Connection:
 
     def close(self) -> None:
         self.alive = False
+        # shutdown() both wakes this connection's reader thread out of
+        # recv() and sends the peer a FIN; close() alone does neither
+        # while the reader holds the fd in a blocked syscall.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.sock.close()
         except OSError:
@@ -87,6 +95,8 @@ class _Connection:
 
     def _handle(self, method: str, params):
         service = self.server.service
+        if method == "echo":
+            return params
         if method == "get_p4info":
             return service.p4info()
         if method == "write":
@@ -174,7 +184,15 @@ class P4RuntimeServer:
                 sock, _ = self._listener.accept()
             except OSError:
                 break
+            if not self._running:  # raced with stop()
+                sock.close()
+                break
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Accepted sockets must carry SO_REUSEADDR themselves: their
+            # lingering close states (FIN_WAIT, TIME_WAIT) would
+            # otherwise block an immediate restart of this server on
+            # the same port.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             conn = _Connection(self, sock)
             with self._conn_lock:
                 self._connections.append(conn)
@@ -220,6 +238,13 @@ class P4RuntimeServer:
     def stop(self) -> None:
         self._running = False
         if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone leaves the kernel LISTEN socket alive (held by the
+            # in-flight accept) and the port unbindable.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:

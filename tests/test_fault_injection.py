@@ -1,0 +1,373 @@
+"""End-to-end fault injection: the controller survives plane restarts.
+
+The robustness acceptance story for the fault-tolerance layer:
+
+* a management-server restart mid-churn → the controller reconnects,
+  re-subscribes its monitor, and reconciles the fresh snapshot against
+  the engine's input relations;
+* a P4Runtime-server restart mid-churn → the device is quarantined by
+  the circuit breaker while down, then fully resynchronized from the
+  engine's output relations on reconnect;
+* a quarantined device never blocks syncs to healthy devices;
+* ``NerpaController.health()`` reports the per-peer transition history
+  (connected → retrying → quarantined → recovered).
+
+Every faulty run is differentially compared against an uninterrupted
+clean run driven by the same churn stream (the comparison style of
+``tests/test_differential.py``): final device table state must be
+byte-identical.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.core.controller import NerpaController
+from repro.core.pipeline import nerpa_build
+from repro.mgmt.client import ManagementClient
+from repro.mgmt.database import Database
+from repro.mgmt.schema import simple_schema
+from repro.mgmt.server import ManagementServer
+from repro.net import RetryPolicy
+from repro.p4runtime.api import DeviceService
+from repro.p4runtime.client import P4RuntimeClient
+from repro.p4runtime.server import P4RuntimeServer
+from repro.workloads.churn import robotron_churn
+
+FAST = RetryPolicy(
+    connect_timeout=2.0,
+    call_timeout=2.0,
+    max_reconnect_attempts=100,
+    base_delay=0.01,
+    max_delay=0.1,
+)
+
+SCHEMA = simple_schema(
+    "net", {"PortCfg": {"port": "integer", "out_port": "integer"}}
+)
+
+P4 = """
+header eth_t { bit<48> dst; bit<48> src; bit<16> ethertype; }
+struct headers_t { eth_t eth; }
+struct meta_t { bit<1> pad; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+         inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Ing(inout headers_t hdr, inout meta_t m,
+            inout standard_metadata_t std) {
+    action forward(bit<16> port) { std.egress_spec = port; }
+    action drop() { mark_to_drop(); }
+    table patch {
+        key = { std.ingress_port : exact; }
+        actions = { forward; drop; }
+        default_action = drop();
+    }
+    apply { patch.apply(); }
+}
+"""
+
+RULES = "Patch(p as bit<16>, PatchActionForward{o as bit<16>}) :- PortCfg(_, p, o)."
+
+N_PORTS = 8
+N_VLANS = 50
+N_EVENTS = 60
+CHURN_SEED = 42
+
+
+def build_project():
+    return nerpa_build(SCHEMA, RULES, P4)
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_for(predicate, timeout=15.0, what="condition"):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def churn_events():
+    return list(
+        robotron_churn(N_PORTS, N_VLANS, N_EVENTS, seed=CHURN_SEED)
+    )
+
+
+def seed_model(transact) -> None:
+    for port in range(N_PORTS):
+        transact(
+            [
+                {
+                    "op": "insert",
+                    "table": "PortCfg",
+                    "row": {"port": port, "out_port": 1},
+                }
+            ]
+        )
+
+
+def apply_event(transact, event) -> None:
+    """Translate one churn event into a management transaction."""
+    if event.kind == "add_port":
+        transact(
+            [
+                {
+                    "op": "insert",
+                    "table": "PortCfg",
+                    "row": {"port": event.port, "out_port": event.vlan},
+                }
+            ]
+        )
+    elif event.kind == "del_port":
+        transact(
+            [
+                {
+                    "op": "delete",
+                    "table": "PortCfg",
+                    "where": [["port", "==", event.port]],
+                }
+            ]
+        )
+    else:  # retag_port / move_port: attribute update
+        transact(
+            [
+                {
+                    "op": "update",
+                    "table": "PortCfg",
+                    "where": [["port", "==", event.port]],
+                    "row": {"out_port": event.vlan},
+                }
+            ]
+        )
+
+
+def table_state(sim) -> str:
+    """Canonical wire dump of a simulator's table entries (the
+    byte-identical comparison used across runs)."""
+    service = DeviceService(sim)
+    entries = []
+    for entry in service.read_table("patch"):
+        entries.append(
+            {
+                "matches": [list(m.key()) for m in entry.matches],
+                "action": entry.action,
+                "params": list(entry.action_params),
+                "priority": entry.priority,
+            }
+        )
+    entries.sort(key=lambda e: json.dumps(e, sort_keys=True, default=str))
+    return json.dumps(entries, sort_keys=True, default=str)
+
+
+def clean_run():
+    """Uninterrupted reference run over the same churn stream."""
+    project = build_project()
+    db = Database(project.schema)
+    switch = project.new_simulator(n_ports=64)
+    controller = NerpaController(project, db, [switch]).start()
+    seed_model(db.transact)
+    for event in churn_events():
+        apply_event(db.transact, event)
+    controller.stop()
+    return table_state(switch)
+
+
+@pytest.mark.slow
+class TestManagementPlaneRestart:
+    def test_controller_reconciles_after_mgmt_restart_mid_churn(self):
+        project = build_project()
+        db = Database(project.schema)
+        port = free_port()
+        server = ManagementServer(db, port=port).start()
+        switch = project.new_simulator(n_ports=64)
+        client = ManagementClient("127.0.0.1", port, policy=FAST)
+        controller = NerpaController(project, client, [switch]).start()
+        try:
+            seed_model(db.transact)
+            events = churn_events()
+            half = len(events) // 2
+            for event in events[:half]:
+                apply_event(db.transact, event)
+
+            # Kill the management server mid-churn.  The database (its
+            # durable state) survives; the controller's channel does not.
+            server.stop()
+            # Churn continues against the database while the controller
+            # is deaf — these changes MUST be recovered via reconcile.
+            for event in events[half : half + 10]:
+                apply_event(db.transact, event)
+
+            server = ManagementServer(db, port=port).start()
+            wait_for(
+                lambda: controller.mgmt_reconciles >= 1,
+                what="management-plane reconcile",
+            )
+            # Remaining churn flows through the re-subscribed monitor.
+            for event in events[half + 10 :]:
+                apply_event(db.transact, event)
+            expected = clean_run()
+            # A count-based wait would race updates that change row
+            # content without changing row count.
+            wait_for(
+                lambda: table_state(switch) == expected,
+                what="device to converge after restart",
+            )
+
+            health = controller.health()
+            assert health["mgmt"]["state"] == "connected"
+            assert health["mgmt"]["reconnects"] >= 1
+            transitions = health["mgmt"]["transitions"]
+            assert "retrying" in transitions
+            assert transitions[-1] == "connected"
+        finally:
+            controller.stop()
+            client.close()
+            server.stop()
+
+
+@pytest.mark.slow
+class TestDevicePlaneRestart:
+    def test_device_full_sync_after_p4runtime_restart_mid_churn(self):
+        project = build_project()
+        db = Database(project.schema)
+        sim = project.new_simulator(n_ports=64)
+        port = free_port()
+        server = P4RuntimeServer(sim, port=port).start()
+        device = P4RuntimeClient("127.0.0.1", port, policy=FAST)
+        controller = NerpaController(
+            project, db, [device], breaker_threshold=2
+        )
+        controller.start()
+        try:
+            seed_model(db.transact)
+            events = churn_events()
+            half = len(events) // 2
+            for event in events[:half]:
+                apply_event(db.transact, event)
+
+            server.stop()
+            # Churn continues; writes to the dead device fail, trip the
+            # breaker, and are skipped — the sync loop never stalls.
+            for event in events[half : half + 10]:
+                apply_event(db.transact, event)
+            assert controller.devices[0].quarantined
+
+            server = P4RuntimeServer(sim, port=port).start()
+            wait_for(
+                lambda: controller.device_resyncs >= 1
+                and not controller.devices[0].quarantined,
+                what="device resync after restart",
+            )
+            for event in events[half + 10 :]:
+                apply_event(db.transact, event)
+            expected = clean_run()
+            wait_for(
+                lambda: table_state(sim) == expected,
+                what="device to converge after resync",
+            )
+
+            health = controller.health()
+            dev = health["devices"][0]
+            assert dev["quarantined"] is False
+            assert dev["resyncs"] >= 1
+            assert dev["syncs_missed"] >= 1
+        finally:
+            controller.stop()
+            device.close()
+            server.stop()
+
+    def test_health_reports_full_transition_sequence(self):
+        """connected → retrying → quarantined → (connected) → recovered."""
+        project = build_project()
+        db = Database(project.schema)
+        sim = project.new_simulator(n_ports=64)
+        port = free_port()
+        server = P4RuntimeServer(sim, port=port).start()
+        device = P4RuntimeClient("127.0.0.1", port, policy=FAST)
+        controller = NerpaController(
+            project, db, [device], breaker_threshold=1
+        )
+        controller.start()
+        try:
+            seed_model(db.transact)
+            server.stop()
+            # One failed sync is enough at threshold 1.
+            apply_event(
+                db.transact,
+                next(iter(robotron_churn(N_PORTS, N_VLANS, 1, seed=7))),
+            )
+            assert controller.devices[0].quarantined
+            server = P4RuntimeServer(sim, port=port).start()
+            wait_for(
+                lambda: not controller.devices[0].quarantined,
+                what="recovery",
+            )
+            transitions = controller.health()["devices"][0]["transitions"]
+            # The required lifecycle appears in order.
+            indices = [
+                transitions.index("connected"),
+                transitions.index("retrying"),
+                transitions.index("quarantined"),
+                len(transitions) - 1 - transitions[::-1].index("recovered"),
+            ]
+            assert indices == sorted(indices)
+            assert "recovered" in transitions
+        finally:
+            controller.stop()
+            device.close()
+            server.stop()
+
+
+@pytest.mark.slow
+class TestQuarantineIsolation:
+    def test_quarantined_device_does_not_block_healthy_devices(self):
+        project = build_project()
+        db = Database(project.schema)
+        healthy_sim = project.new_simulator(n_ports=64)
+        flaky_sim = project.new_simulator(n_ports=64)
+        port = free_port()
+        server = P4RuntimeServer(flaky_sim, port=port).start()
+        flaky = P4RuntimeClient("127.0.0.1", port, policy=FAST)
+        controller = NerpaController(
+            project, db, [healthy_sim, flaky], breaker_threshold=1
+        )
+        controller.start()
+        try:
+            seed_model(db.transact)
+            assert len(healthy_sim.table("patch")) == N_PORTS
+            assert len(flaky_sim.table("patch")) == N_PORTS
+
+            server.stop()
+            events = churn_events()
+            started = time.time()
+            for event in events[:10]:
+                apply_event(db.transact, event)
+            # The dead device cost at most one call timeout before the
+            # breaker opened; the healthy device kept in lockstep.
+            assert time.time() - started < 10 * FAST.call_timeout
+            assert controller.devices[1].quarantined
+            assert not controller.devices[0].quarantined
+            assert len(healthy_sim.table("patch")) == db.count("PortCfg")
+
+            server = P4RuntimeServer(flaky_sim, port=port).start()
+            wait_for(
+                lambda: not controller.devices[1].quarantined,
+                what="flaky device recovery",
+            )
+            wait_for(
+                lambda: table_state(flaky_sim) == table_state(healthy_sim),
+                what="flaky device to catch up",
+            )
+        finally:
+            controller.stop()
+            flaky.close()
+            server.stop()
