@@ -34,4 +34,11 @@ def percentile(values: Sequence[float], pct: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    lo_v, hi_v = ordered[low], ordered[high]
+    if lo_v == hi_v:
+        return lo_v
+    value = lo_v * (1 - frac) + hi_v * frac
+    # Interpolation through denormals can underflow below the bracket
+    # (5e-324 * 0.5 rounds to 0.0); the true percentile always lies in
+    # [lo_v, hi_v], so clamp.
+    return min(max(value, lo_v), hi_v)

@@ -51,6 +51,8 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
+from repro.analysis.stats import percentile
 from repro.core.codegen import TableBinding
 from repro.core.pipeline import MULTICAST_RELATION, NerpaProject
 from repro.core.typebridge import dlog_value_to_match, ovsdb_value_to_dlog
@@ -59,6 +61,7 @@ from repro.dlog.values import StructValue
 from repro.errors import ProtocolError, ReproError, TypeCheckError
 from repro.mgmt.database import Database
 from repro.mgmt.monitor import MonitorSpec, TableUpdates
+from repro.obs.trace import current_update_id, use_update_id
 from repro.p4.simulator import Simulator
 from repro.p4.tables import TableEntry
 from repro.p4runtime.api import DeviceService, TableWrite
@@ -144,7 +147,15 @@ class _LocalDevice:
         def chained(message):
             if previous is not None:
                 previous(message)
-            callback(message.name, message.values)
+            # Bind the update-id of the config change that installed
+            # the digest-producing entries, so the feedback transaction
+            # can link back to it without a signature change.
+            uid = getattr(message, "update_id", None)
+            if uid is not None:
+                with use_update_id(uid):
+                    callback(message.name, message.values)
+            else:
+                callback(message.name, message.values)
 
         sim.digest_callback = chained
 
@@ -496,8 +507,30 @@ class NerpaController:
                         )
             if not inserts and not deletes:
                 return
-            result = self.runtime.transaction(inserts=inserts, deletes=deletes)
-            self._push_outputs(result)
+            if obs.enabled():
+                # Inherit the transact's update-id (bound by the mgmt
+                # plane around this callback); the initial snapshot has
+                # none, so mint one for it.
+                uid = current_update_id() or obs.mint_update_id()
+                rows = sum(map(len, inserts.values())) + sum(
+                    map(len, deletes.values())
+                )
+                with use_update_id(uid), obs.TRACER.span(
+                    "controller.sync", update_id=uid, rows=rows
+                ):
+                    result = self.runtime.transaction(
+                        inserts=inserts, deletes=deletes
+                    )
+                    self._push_outputs(result)
+                obs.REGISTRY.counter("controller_syncs_total").inc()
+                obs.REGISTRY.histogram("controller_sync_seconds").observe(
+                    time.perf_counter() - started
+                )
+            else:
+                result = self.runtime.transaction(
+                    inserts=inserts, deletes=deletes
+                )
+                self._push_outputs(result)
             self.sync_count += 1
             self.sync_latencies.append(time.perf_counter() - started)
             self.last_result = result
@@ -516,15 +549,46 @@ class NerpaController:
             return
         with self._lock:
             started = time.perf_counter()
-            result = self.runtime.transaction(
-                inserts={relation: [tuple(values)]}
-            )
-            self.digests_processed += 1
-            if result.deltas:
-                self._push_outputs(result)
-                self.sync_count += 1
-                self.sync_latencies.append(time.perf_counter() - started)
-                self.last_result = result
+            if obs.enabled():
+                # The delivery path bound the update-id of the config
+                # change whose entries produced this digest; the
+                # feedback transaction gets a fresh id linked back.
+                link = current_update_id()
+                uid = obs.mint_update_id()
+                with use_update_id(uid), obs.TRACER.span(
+                    "controller.digest",
+                    update_id=uid,
+                    digest=name,
+                    link=link,
+                ):
+                    result = self.runtime.transaction(
+                        inserts={relation: [tuple(values)]}
+                    )
+                    self.digests_processed += 1
+                    pushed = bool(result.deltas)
+                    if pushed:
+                        self._push_outputs(result)
+                obs.REGISTRY.counter(
+                    "controller_digests_total", digest=name
+                ).inc()
+                if pushed:
+                    self.sync_count += 1
+                    self.sync_latencies.append(
+                        time.perf_counter() - started
+                    )
+                    self.last_result = result
+            else:
+                result = self.runtime.transaction(
+                    inserts={relation: [tuple(values)]}
+                )
+                self.digests_processed += 1
+                if result.deltas:
+                    self._push_outputs(result)
+                    self.sync_count += 1
+                    self.sync_latencies.append(
+                        time.perf_counter() - started
+                    )
+                    self.last_result = result
 
     # -- output propagation --------------------------------------------------------------
 
@@ -545,7 +609,19 @@ class NerpaController:
             self._buffer_writes.extend(writes)
             return
         for device in self.devices:
-            if self._breaker_write(device, lambda io: io.write(writes)):
+            if obs.enabled():
+                with obs.TRACER.span(
+                    "device.write", device=device.name, writes=len(writes)
+                ) as span:
+                    applied = self._breaker_write(
+                        device, lambda io: io.write(writes)
+                    )
+                    span.set(applied=applied)
+            else:
+                applied = self._breaker_write(
+                    device, lambda io: io.write(writes)
+                )
+            if applied:
                 self.entries_written += len(writes)
 
     def _breaker_write(self, device: _ManagedDevice, op) -> bool:
@@ -558,12 +634,24 @@ class NerpaController:
         """
         if device.quarantined:
             device.syncs_missed += 1
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "controller_syncs_skipped_total", device=device.name
+                ).inc()
             return False
         try:
             op(device.io)
         except _TRANSPORT_ERRORS as exc:
-            device.record_failure(exc, self.breaker_threshold)
+            tripped = device.record_failure(exc, self.breaker_threshold)
             device.syncs_missed += 1
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "controller_breaker_failures_total", device=device.name
+                ).inc()
+                if tripped:
+                    obs.REGISTRY.counter(
+                        "controller_breaker_trips_total", device=device.name
+                    ).inc()
             return False
         device.record_success()
         return True
@@ -647,7 +735,7 @@ class NerpaController:
 
     def metrics(self) -> Dict[str, object]:
         latencies = self.sync_latencies
-        return {
+        out = {
             "syncs": self.sync_count,
             "entries_written": self.entries_written,
             "digests_processed": self.digests_processed,
@@ -657,4 +745,10 @@ class NerpaController:
                 sum(latencies) / len(latencies) if latencies else 0.0
             ),
             "last_sync_latency": latencies[-1] if latencies else 0.0,
+            "sync_latency_p50": percentile(latencies, 50) if latencies else 0.0,
+            "sync_latency_p95": percentile(latencies, 95) if latencies else 0.0,
+            "engine": self.runtime.profile(),
         }
+        if obs.enabled():
+            out["registry"] = obs.REGISTRY.snapshot()
+        return out

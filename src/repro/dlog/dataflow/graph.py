@@ -9,8 +9,9 @@ output delta for the transaction.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dlog.dataflow.operators import Node
 from repro.dlog.dataflow.zset import ZSet
@@ -54,13 +55,20 @@ class Graph:
         self._order = order
         return order
 
-    def run(self, source_deltas: Dict[int, ZSet]) -> Dict[int, ZSet]:
+    def run(
+        self,
+        source_deltas: Dict[int, ZSet],
+        profile: Optional[List[Tuple[Node, float, int, int]]] = None,
+    ) -> Dict[int, ZSet]:
         """Propagate deltas; returns ``id(node) -> output delta``.
 
         ``source_deltas`` maps ``id(node)`` to the delta injected at its
         port 0.  Nodes with no pending input are skipped entirely — an
         empty transaction does no work, and a small one touches only the
         paths it reaches.
+
+        When ``profile`` is a list, every processed node appends a
+        ``(node, seconds, in_tuples, out_tuples)`` sample to it.
         """
         pending: Dict[int, List[Optional[ZSet]]] = {}
         for node_id, delta in source_deltas.items():
@@ -73,7 +81,18 @@ class Graph:
                 continue
             while len(inputs) < node.n_ports:
                 inputs.append(None)
-            result = node.process(inputs)
+            if profile is None:
+                result = node.process(inputs)
+            else:
+                n_in = sum(len(d) for d in inputs if d is not None)
+                started = time.perf_counter()
+                result = node.process(inputs)
+                elapsed = time.perf_counter() - started
+                if isinstance(result, dict):
+                    n_out = sum(len(z) for z in result.values())
+                else:
+                    n_out = len(result)
+                profile.append((node, elapsed, n_in, n_out))
             outputs[id(node)] = result
             for child, port, out_key in node.downstream:
                 out = result[out_key] if out_key is not None else result

@@ -31,10 +31,16 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.dlog import ast as A
 from repro.dlog import types as T
 from repro.dlog.dataflow.graph import Graph
-from repro.dlog.dataflow.operators import DistinctNode, Node, SourceNode
+from repro.dlog.dataflow.operators import (
+    DistinctNode,
+    JoinNode,
+    Node,
+    SourceNode,
+)
 from repro.dlog.dataflow.zset import ZSet
 from repro.dlog.interp import Evaluator
 from repro.dlog.parser import parse_program
@@ -205,6 +211,9 @@ class Runtime:
         }
         self._static_rows: Dict[str, List[tuple]] = {}
         self._deferred_exits: List[Tuple[str, List[Node]]] = []
+        self._node_stratum: Dict[int, int] = {}
+        self.operator_totals: Dict[str, Dict[str, float]] = {}
+        self._obs_handles: Optional[Tuple[int, object]] = None
         self.txn_count = 0
         self.total_txn_time = 0.0
         self._build()
@@ -230,6 +239,7 @@ class Runtime:
             else:
                 node = DistinctNode(name=f"relation({rel.name})")
             self.relation_nodes[rel.name] = graph.add(node)
+            self._node_stratum[id(node)] = strat.scc_of[rel.name]
 
         # Partition rules: non-recursive ones are planned as dataflow;
         # recursive SCC rules go to their SCC evaluator, with their base
@@ -258,6 +268,8 @@ class Runtime:
         for base_name, decl in base_needed.items():
             node = DistinctNode(name=f"relation({base_name})")
             self.relation_nodes[base_name] = graph.add(node)
+            member = base_name[len(BASE_PREFIX):]
+            self._node_stratum[id(node)] = strat.scc_of[member]
             checked.relations.setdefault(base_name, decl)
 
         # Re-wire planned chains that targeted base relations before the
@@ -291,6 +303,7 @@ class Runtime:
             self.scc_evaluators[scc_idx] = evaluator
             scc_node = SccNode(evaluator)
             graph.add(scc_node)
+            self._node_stratum[id(scc_node)] = scc_idx
             for port, ext in enumerate(scc_node.externals):
                 self.relation_nodes[ext].connect_to(scc_node, port)
             for member in members:
@@ -305,8 +318,15 @@ class Runtime:
                 chain.static_rows
             )
             return
+        strat = self.program.stratification
+        head = target_relation
+        if head.startswith(BASE_PREFIX):
+            head = head[len(BASE_PREFIX):]
+        stratum = strat.scc_of.get(head)
         for node in chain.nodes:
             self.graph.add(node)
+            if stratum is not None:
+                self._node_stratum[id(node)] = stratum
         entry_rel, entry_node = chain.entry
         self.relation_nodes[entry_rel].connect_to(entry_node, 0)
         for rel, node, port in chain.taps:
@@ -335,6 +355,49 @@ class Runtime:
         )
 
     def _apply(self, changes, initial: bool = False) -> TxnResult:
+        if not obs.enabled():
+            return self._apply_inner(changes, initial, None)
+        # Per-operator profiling (detail tier) costs on the order of the
+        # transaction itself for tiny incremental updates, so the
+        # standard tier records only the span and the registry metrics —
+        # and only records the span at all when the transaction is part
+        # of a causal trace (an enclosing span or update-id exists).  A
+        # bare Runtime.transaction() call has nothing to attribute the
+        # span to, so it pays just the histogram.
+        detail = obs.detail_enabled()
+        if detail:
+            with obs.TRACER.span("engine.transaction") as span:
+                profile: List[Tuple[Node, float, int, int]] = []
+                result = self._apply_inner(changes, initial, profile)
+                operators, strata = self._summarize_profile(profile)
+                span.set(
+                    initial=initial,
+                    deltas={r: len(d) for r, d in result.deltas.items()},
+                    operators=operators,
+                    stratum_seconds=strata,
+                )
+        elif (
+            obs.TRACER.active() is not None
+            or obs.current_update_id() is not None
+        ):
+            with obs.TRACER.span("engine.transaction"):
+                result = self._apply_inner(changes, initial, None)
+        else:
+            result = self._apply_inner(changes, initial, None)
+        # One registry update per transaction: the histogram's exact
+        # ``count`` doubles as the transaction counter, so no separate
+        # Counter (and its lock) is paid on this path.
+        registry = obs.REGISTRY
+        handles = self._obs_handles
+        if handles is None or handles[0] != registry.generation:
+            handles = self._obs_handles = (
+                registry.generation,
+                registry.histogram("engine_txn_seconds"),
+            )
+        handles[1].observe(result.duration)
+        return result
+
+    def _apply_inner(self, changes, initial, profile) -> TxnResult:
         started = time.perf_counter()
         warnings: List[str] = []
         source_deltas: Dict[int, ZSet] = {}
@@ -369,7 +432,7 @@ class Runtime:
                     node = self.relation_nodes[rel_name]
                     source_deltas.setdefault(id(node), ZSet()).merge(delta)
 
-        outputs = self.graph.run(source_deltas)
+        outputs = self.graph.run(source_deltas, profile=profile)
 
         deltas: Dict[str, ZSet] = {}
         for rel_name, node in self.relation_nodes.items():
@@ -383,6 +446,48 @@ class Runtime:
         self.txn_count += 1
         self.total_txn_time += duration
         return TxnResult(deltas, self.program.output_relations, warnings, duration)
+
+    def _summarize_profile(self, profile) -> Tuple[dict, Dict[int, float]]:
+        """Fold one transaction's node samples into per-operator stats
+        (for the engine span) and per-stratum seconds, accumulating the
+        process-lifetime totals as a side effect."""
+        operators: Dict[str, Dict[str, float]] = {}
+        strata: Dict[int, float] = {}
+        probes = 0
+        for node, seconds, n_in, n_out in profile:
+            entry = operators.get(node.name)
+            if entry is None:
+                entry = operators[node.name] = {
+                    "calls": 0,
+                    "seconds": 0.0,
+                    "in_tuples": 0,
+                    "out_tuples": 0,
+                }
+            entry["calls"] += 1
+            entry["seconds"] += seconds
+            entry["in_tuples"] += n_in
+            entry["out_tuples"] += n_out
+            if isinstance(node, JoinNode):
+                probes += n_in
+            stratum = self._node_stratum.get(id(node))
+            if stratum is not None:
+                strata[stratum] = strata.get(stratum, 0.0) + seconds
+        for name, entry in operators.items():
+            total = self.operator_totals.get(name)
+            if total is None:
+                total = self.operator_totals[name] = {
+                    "calls": 0,
+                    "seconds": 0.0,
+                    "in_tuples": 0,
+                    "out_tuples": 0,
+                }
+            total["calls"] += entry["calls"]
+            total["seconds"] += entry["seconds"]
+            total["in_tuples"] += entry["in_tuples"]
+            total["out_tuples"] += entry["out_tuples"]
+        if probes:
+            obs.REGISTRY.counter("engine_arrangement_probes_total").inc(probes)
+        return operators, strata
 
     def _normalize(
         self, rel_name: str, rows, insert: bool, warnings: List[str]
@@ -434,6 +539,10 @@ class Runtime:
             "total_txn_time": self.total_txn_time,
             "state_records": self.state_size(),
             "graph_nodes": len(self.graph.nodes),
+            "operators": {
+                name: dict(stats)
+                for name, stats in sorted(self.operator_totals.items())
+            },
         }
 
 

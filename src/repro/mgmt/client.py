@@ -23,6 +23,7 @@ from repro.mgmt.schema import DatabaseSchema
 from repro.mgmt.values import row_from_wire
 from repro.net.resilient import ResilientConnection
 from repro.net.retry import RetryPolicy
+from repro.obs.trace import use_update_id
 
 _DEFAULT_TIMEOUT = 30.0
 
@@ -67,9 +68,19 @@ class ManagementClient:
     def _handle_notification(self, message: dict) -> None:
         if message.get("method") != "update":
             return
-        monitor_id, wire_updates = message["params"]
+        params = message["params"]
+        monitor_id, wire_updates = params[0], params[1]
+        # A third param (added by obs-enabled servers) is the transact's
+        # update-id; rebind it so the monitor callback's downstream work
+        # stays in the originating trace.
+        uid = params[2] if len(params) > 2 else None
         callback = self._monitor_callbacks.get(monitor_id)
-        if callback is not None:
+        if callback is None:
+            return
+        if uid is not None:
+            with use_update_id(uid):
+                callback(self._decode_updates(wire_updates))
+        else:
             callback(self._decode_updates(wire_updates))
 
     def _on_transport_reconnect(self) -> None:

@@ -13,6 +13,7 @@ import threading
 import uuid as uuidlib
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import SchemaError, TransactionError
 from repro.mgmt.monitor import Monitor, MonitorSpec, RowUpdate, TableUpdates
 from repro.mgmt.schema import DatabaseSchema
@@ -120,12 +121,31 @@ class Database:
         """
         from repro.mgmt.transact import execute_operations
 
-        with self._lock:
-            staged = _Staged(self)
-            results = execute_operations(self, staged, operations)
-            self._check_constraints(staged)
-            updates = self._commit(staged)
-        self._notify(updates)
+        if not obs.enabled():
+            with self._lock:
+                staged = _Staged(self)
+                results = execute_operations(self, staged, operations)
+                self._check_constraints(staged)
+                updates = self._commit(staged)
+            self._notify(updates)
+            return results
+
+        # Mint the update-id that names this config change end-to-end;
+        # _notify runs inside its scope so every downstream plane
+        # (controller sync, engine delta, device writes) inherits it.
+        uid = obs.mint_update_id()
+        with obs.TRACER.span(
+            "mgmt.transact", update_id=uid, ops=len(operations)
+        ) as span:
+            with self._lock:
+                staged = _Staged(self)
+                results = execute_operations(self, staged, operations)
+                self._check_constraints(staged)
+                updates = self._commit(staged)
+            span.set(changed_rows=sum(len(rows) for _, rows in updates))
+            with obs.use_update_id(uid):
+                self._notify(updates)
+        obs.REGISTRY.counter("mgmt_txns_total").inc()
         return results
 
     def new_uuid(self) -> str:

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError, ReproError
 from repro.mgmt.database import Database
+from repro.obs.trace import current_update_id
 from repro.mgmt.jsonrpc import (
     classify,
     make_error,
@@ -164,12 +165,14 @@ class _Connection:
         def push(updates: TableUpdates) -> None:
             if not self.alive:
                 return
-            self.send(
-                make_notification(
-                    "update",
-                    [id_cell[0], updates_to_wire(self.server.db, updates)],
-                )
-            )
+            params = [id_cell[0], updates_to_wire(self.server.db, updates)]
+            # push runs inside Database._notify, i.e. inside the
+            # transact's update-id scope; forward the id on the wire so
+            # remote controllers keep the trace.
+            uid = current_update_id()
+            if uid is not None:
+                params.append(uid)
+            self.send(make_notification("update", params))
 
         return push
 

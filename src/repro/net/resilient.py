@@ -28,6 +28,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.errors import ConnectionLostError, ProtocolError, ReproError
 from repro.mgmt.jsonrpc import (
     NotificationDispatcher,
@@ -132,6 +133,10 @@ class ResilientConnection:
         if state != self._state:
             self._state = state
             self.transitions.append(state)
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "net_transitions_total", conn=self.name, state=state
+                ).inc()
 
     def note_event(self, tag: str) -> None:
         """Record a caller-level event (e.g. ``quarantined``) in the
@@ -300,6 +305,10 @@ class ResilientConnection:
             with self._sock_lock:
                 self.sock = sock
             self.reconnects += 1
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "net_reconnects_total", conn=self.name
+                ).inc()
             self._set_state(CONNECTED)
             self._connected_event.set()
             for callback in list(self._on_reconnect):

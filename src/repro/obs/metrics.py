@@ -1,0 +1,217 @@
+"""Process-wide metrics primitives: counters, gauges, histograms.
+
+The registry is deliberately small and dependency-free.  All metric
+types are thread-safe; counters reject negative increments so a reader
+can rely on monotonicity.  Histograms keep exact count/sum/min/max plus
+a bounded reservoir of recent samples from which percentile summaries
+are computed (via :func:`repro.analysis.stats.percentile`), so memory
+stays O(window) no matter how long the process runs.
+
+Exporters:
+
+* :meth:`MetricsRegistry.snapshot` — plain nested dict;
+* :meth:`MetricsRegistry.to_json` — the snapshot as JSON;
+* :meth:`MetricsRegistry.to_text` — a Prometheus-style text page
+  (``name{label="value"} 12``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.stats import percentile
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, str]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(key: LabelKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically non-decreasing integer metric."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A metric that can move in both directions."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Exact count/sum/min/max plus a bounded sample reservoir.
+
+    Percentiles are computed over the most recent ``window`` samples;
+    count/sum/min/max cover every observation ever made.
+    """
+
+    __slots__ = ("_lock", "count", "total", "min", "max", "_window")
+
+    def __init__(self, window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._window.append(value)
+
+    def summary(self) -> dict:
+        with self._lock:
+            samples = list(self._window)
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
+        out = {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "min": lo,
+            "max": hi,
+        }
+        if samples:
+            for pct in (50, 90, 99):
+                out[f"p{pct}"] = percentile(samples, pct)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled metrics.
+
+    ``generation`` increments on every :meth:`reset`; hot callers may
+    cache metric handles keyed on it instead of re-resolving name +
+    labels per event (see ``Runtime._apply``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[LabelKey, object] = {}
+        self.generation = 0
+
+    def _get(self, cls, name: str, labels: Dict[str, str], **kwargs):
+        key = (name, ()) if not labels else _key(name, labels)
+        # Lock-free fast path: dict reads are atomic under the GIL, and
+        # an existing entry is never replaced, so a hit needs no lock.
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(**kwargs)
+                    self._metrics[key] = metric
+        if type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, window: int = 1024, **labels: str
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, window=window)
+
+    def _items(self) -> List[Tuple[LabelKey, object]]:
+        with self._lock:
+            return sorted(self._metrics.items())
+
+    def snapshot(self) -> dict:
+        out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key, metric in self._items():
+            rendered = _render_key(key)
+            if isinstance(metric, Counter):
+                out["counters"][rendered] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][rendered] = metric.value
+            elif isinstance(metric, Histogram):
+                out["histograms"][rendered] = metric.summary()
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        for key, metric in self._items():
+            rendered = _render_key(key)
+            if isinstance(metric, Counter):
+                lines.append(f"{rendered} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{rendered} {metric.value}")
+            elif isinstance(metric, Histogram):
+                summary = metric.summary()
+                name, labels = key
+                for field in ("count", "sum", "p50", "p90", "p99"):
+                    if field not in summary:
+                        continue
+                    lines.append(
+                        f"{_render_key((f'{name}_{field}', labels))} "
+                        f"{summary[field]}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self.generation += 1

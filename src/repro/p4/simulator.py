@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import DataPlaneError
 from repro.p4 import ast as P
 from repro.p4.ir import STD_FIELDS, ControlBinding, Pipeline
@@ -43,11 +44,20 @@ class HeaderInstance:
 
 
 class DigestMessage:
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "update_id")
 
-    def __init__(self, name: str, values: Tuple[int, ...]):
+    def __init__(
+        self,
+        name: str,
+        values: Tuple[int, ...],
+        update_id: Optional[str] = None,
+    ):
         self.name = name
         self.values = values
+        # The update-id of the config change that last wrote this
+        # device (its ``config_epoch``), linking digest feedback back
+        # to the originating trace.
+        self.update_id = update_id
 
     def __repr__(self):
         return f"Digest({self.name}, {self.values})"
@@ -104,6 +114,9 @@ class Simulator:
         self.rx_count: Dict[int, int] = {}
         self.tx_count: Dict[int, int] = {}
         self.dropped = 0
+        # Update-id of the most recent control-plane write batch (set
+        # by DeviceService.write); stamped onto emitted digests.
+        self.config_epoch: Optional[str] = None
 
     # -- control-plane surface ----------------------------------------------
 
@@ -133,6 +146,8 @@ class Simulator:
         if not 0 <= port < self.n_ports:
             raise DataPlaneError(f"no port {port}")
         self.rx_count[port] = self.rx_count.get(port, 0) + 1
+        if obs.enabled():
+            obs.REGISTRY.counter("dataplane_packets_total").inc()
 
         ctx = self._parse(port, data)
         if ctx is None:
@@ -300,8 +315,14 @@ class Simulator:
                     int(self._eval(ctx, f, binding, action_env))
                     for f in stmt.fields
                 )
-                message = DigestMessage(stmt.struct_name, values)
+                message = DigestMessage(
+                    stmt.struct_name, values, update_id=self.config_epoch
+                )
                 self.digests.append(message)
+                if obs.enabled():
+                    obs.REGISTRY.counter(
+                        "dataplane_digests_total", digest=stmt.struct_name
+                    ).inc()
                 if self.digest_callback is not None:
                     self.digest_callback(message)
             elif isinstance(stmt, P.ClonePortStmt):

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ReproError, RuntimeApiError
+from repro.obs.trace import current_update_id
 from repro.p4.simulator import Simulator
 from repro.p4.tables import FieldMatch, TableEntry
 
@@ -130,6 +132,30 @@ class DeviceService:
         On failure the already-applied prefix is rolled back and a
         :class:`WriteError` is raised.
         """
+        uid = current_update_id()
+        if uid is not None:
+            # Remember which config change last touched this device;
+            # digests emitted by matching packets carry it back so the
+            # feedback loop links to its originating trace.
+            self.sim.config_epoch = uid
+        if obs.enabled():
+            return self._traced_write(updates, uid)
+        return self._apply_batch(updates)
+
+    def _traced_write(self, updates: Sequence[TableWrite], uid) -> int:
+        with obs.TRACER.span(
+            "device.apply",
+            update_id=uid,
+            device=self.device_id,
+            writes=len(updates),
+        ):
+            count = self._apply_batch(updates)
+        obs.REGISTRY.counter(
+            "device_writes_total", device=self.device_id
+        ).inc(len(updates))
+        return count
+
+    def _apply_batch(self, updates: Sequence[TableWrite]) -> int:
         applied: List[Tuple[TableWrite, Optional[TableEntry]]] = []
         try:
             for i, update in enumerate(updates):

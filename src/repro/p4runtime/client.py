@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import RuntimeApiError
 from repro.net.resilient import ResilientConnection
 from repro.net.retry import RetryPolicy
+from repro.obs.trace import current_update_id, use_update_id
 from repro.p4runtime.api import TableWrite
 
 _DEFAULT_TIMEOUT = 30.0
@@ -64,8 +65,17 @@ class P4RuntimeClient:
         if method == "digest":
             callback = self._digest_callback
             if callback is not None:
-                name, values = message["params"]
-                callback(name, tuple(values))
+                params = message["params"]
+                name, values = params[0], params[1]
+                # An optional third param is the update-id of the config
+                # change whose entries produced this digest; rebind it
+                # so the controller can link the feedback trace.
+                uid = params[2] if len(params) > 2 else None
+                if uid is not None:
+                    with use_update_id(uid):
+                        callback(name, tuple(values))
+                else:
+                    callback(name, tuple(values))
         elif method == "packet_in":
             callback = self._packet_in_callback
             if callback is not None:
@@ -99,7 +109,14 @@ class P4RuntimeClient:
         return self.call("echo", payload, retryable=True)
 
     def write(self, updates: Sequence[TableWrite]) -> int:
-        result = self.call("write", [u.to_wire() for u in updates])
+        wires = [u.to_wire() for u in updates]
+        uid = current_update_id()
+        if uid is not None:
+            # Envelope form carries the update-id to the device side;
+            # the legacy bare list stays the wire format otherwise.
+            result = self.call("write", [{"updates": wires, "update_id": uid}])
+        else:
+            result = self.call("write", wires)
         return result["applied"]
 
     def read_table(self, table: str) -> List[TableWrite]:

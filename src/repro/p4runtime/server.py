@@ -33,6 +33,7 @@ from repro.mgmt.jsonrpc import (
     recv_message,
     send_message,
 )
+from repro.obs.trace import use_update_id
 from repro.p4.simulator import DigestMessage, Simulator
 from repro.p4runtime.api import DeviceService, TableWrite
 
@@ -100,6 +101,22 @@ class _Connection:
         if method == "get_p4info":
             return service.p4info()
         if method == "write":
+            # Envelope form ({"updates": [...], "update_id": ...})
+            # carries the client's update-id; bare lists are the legacy
+            # wire format.
+            if (
+                len(params) == 1
+                and isinstance(params[0], dict)
+                and "updates" in params[0]
+            ):
+                updates = [
+                    TableWrite.from_wire(u) for u in params[0]["updates"]
+                ]
+                uid = params[0].get("update_id")
+                if uid is not None:
+                    with use_update_id(uid):
+                        return {"applied": service.write(updates)}
+                return {"applied": service.write(updates)}
             updates = [TableWrite.from_wire(u) for u in params]
             return {"applied": service.write(updates)}
         if method == "read_table":
@@ -211,13 +228,13 @@ class P4RuntimeServer:
     def _broadcast_digest(self, digest: DigestMessage) -> None:
         with self._conn_lock:
             conns = list(self._connections)
+        params = [digest.name, list(digest.values)]
+        uid = getattr(digest, "update_id", None)
+        if uid is not None:
+            params.append(uid)
         for conn in conns:
             if conn.wants_digests:
-                conn.send(
-                    make_notification(
-                        "digest", [digest.name, list(digest.values)]
-                    )
-                )
+                conn.send(make_notification("digest", params))
 
     def _on_packet_in(self, port: int, data: bytes) -> None:
         if self._prev_packet_in is not None:

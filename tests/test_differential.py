@@ -187,3 +187,201 @@ class TestPersistedRestart:
         controller2.start(reconcile=True)
         assert len(switch.table("in_vlan")) == entries_before
         assert controller2.entries_written == 0  # nothing was stale
+
+
+# ---------------------------------------------------------------------------
+# Incremental engine vs full recompute: property-based fixpoint harness.
+# ---------------------------------------------------------------------------
+
+from hypothesis import HealthCheck  # noqa: E402
+
+from repro.baselines.full_recompute import FullRecomputeController  # noqa: E402
+from repro.dlog.engine import compile_program  # noqa: E402
+
+
+def _join_program(r_arity: int, s_arity: int, jr: int, js: int) -> str:
+    """A randomized two-relation schema: ``J`` joins R and S on one
+    column position, ``OnlyR`` is R anti-joined against S."""
+    r_cols = ", ".join(f"r{i}: bigint" for i in range(r_arity))
+    s_cols = ", ".join(f"s{i}: bigint" for i in range(s_arity))
+    r_vars = [f"x{i}" for i in range(r_arity)]
+    s_vars = [f"y{i}" for i in range(s_arity)]
+    s_vars[js] = r_vars[jr]  # the shared join variable
+    out_vars = r_vars + [v for i, v in enumerate(s_vars) if i != js]
+    j_cols = ", ".join(f"c{i}: bigint" for i in range(len(out_vars)))
+    neg_args = ["_"] * s_arity
+    neg_args[js] = r_vars[jr]
+    return f"""
+input relation R({r_cols})
+input relation S({s_cols})
+output relation J({j_cols})
+output relation OnlyR({r_cols})
+J({", ".join(out_vars)}) :- R({", ".join(r_vars)}), S({", ".join(s_vars)}).
+OnlyR({", ".join(r_vars)}) :- R({", ".join(r_vars)}), not S({", ".join(neg_args)}).
+"""
+
+
+def _join_derive(jr: int, js: int):
+    """The same semantics, computed from scratch over plain sets."""
+
+    def derive(config):
+        rs = config.get("R", set())
+        ss = config.get("S", set())
+        out = set()
+        for r in rs:
+            matched = False
+            for s in ss:
+                if s[js] == r[jr]:
+                    matched = True
+                    out.add(
+                        ("J",)
+                        + tuple(r)
+                        + tuple(v for i, v in enumerate(s) if i != js)
+                    )
+            if not matched:
+                out.add(("OnlyR",) + tuple(r))
+        return out
+
+    return derive
+
+
+@st.composite
+def _join_scenarios(draw):
+    r_arity = draw(st.integers(1, 3))
+    s_arity = draw(st.integers(1, 3))
+    jr = draw(st.integers(0, r_arity - 1))
+    js = draw(st.integers(0, s_arity - 1))
+
+    def rows(arity):
+        return st.lists(
+            st.tuples(*[st.integers(0, 3)] * arity), max_size=5
+        )
+
+    batches = draw(
+        st.lists(
+            st.fixed_dictionaries(
+                {
+                    "R+": rows(r_arity),
+                    "R-": rows(r_arity),
+                    "S+": rows(s_arity),
+                    "S-": rows(s_arity),
+                }
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return r_arity, s_arity, jr, js, batches
+
+
+REACH_PROGRAM = """
+input relation Edge(a: bigint, b: bigint)
+output relation Reach(x: bigint, y: bigint)
+Reach(x, y) :- Edge(x, y).
+Reach(x, z) :- Reach(x, y), Edge(y, z).
+"""
+
+
+def _closure_derive(config):
+    edges = config.get("Edge", set())
+    reach = set(edges)
+    while True:
+        new = {
+            (x, z)
+            for (x, y) in reach
+            for (y2, z) in edges
+            if y == y2
+        } - reach
+        if not new:
+            break
+        reach |= new
+    return reach
+
+
+class TestEngineVsFullRecompute:
+    """Property harness: the incremental engine against the
+    recompute-everything baseline (`repro.baselines.full_recompute`),
+    over randomized relation schemas and insert/delete delta sequences,
+    asserting identical fixpoints after every batch."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_join_scenarios())
+    def test_join_and_negation_fixpoints_agree(self, scenario):
+        r_arity, s_arity, jr, js, batches = scenario
+        runtime = compile_program(_join_program(r_arity, s_arity, jr, js)).start()
+        baseline = FullRecomputeController(_join_derive(jr, js))
+        for batch in batches:
+            changes = {
+                "inserts": {"R": batch["R+"], "S": batch["S+"]},
+                "deletes": {"R": batch["R-"], "S": batch["S-"]},
+            }
+            runtime.transaction(**changes)
+            baseline.apply_change(**changes)
+            got = {("J",) + row for row in runtime.dump("J")} | {
+                ("OnlyR",) + row for row in runtime.dump("OnlyR")
+            }
+            assert got == baseline.installed
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.fixed_dictionaries(
+                {
+                    "Edge+": st.lists(
+                        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                        max_size=6,
+                    ),
+                    "Edge-": st.lists(
+                        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                        max_size=6,
+                    ),
+                }
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_recursive_reachability_fixpoints_agree(self, batches):
+        """DRed (delete–rederive) vs a from-scratch transitive closure:
+        cycles and deletions inside cycles are where incremental
+        maintenance historically goes wrong."""
+        runtime = compile_program(REACH_PROGRAM).start()
+        baseline = FullRecomputeController(_closure_derive)
+        for batch in batches:
+            changes = {
+                "inserts": {"Edge": batch["Edge+"]},
+                "deletes": {"Edge": batch["Edge-"]},
+            }
+            runtime.transaction(**changes)
+            baseline.apply_change(**changes)
+            assert runtime.dump("Reach") == baseline.installed
+
+    def test_duplicate_churn_converges_identically(self):
+        """Deterministic regression: duplicate inserts, deletes of
+        absent rows, and insert+delete of the same row in one batch are
+        ignored identically by both implementations."""
+        runtime = compile_program(_join_program(2, 2, 0, 1)).start()
+        baseline = FullRecomputeController(_join_derive(0, 1))
+        batches = [
+            {"inserts": {"R": [(1, 2), (1, 2)], "S": [(9, 1)]},
+             "deletes": {"R": [(7, 7)], "S": []}},
+            {"inserts": {"R": [(3, 4)], "S": [(8, 3)]},
+             "deletes": {"R": [(3, 4)], "S": []}},
+            {"inserts": {"R": [], "S": []},
+             "deletes": {"R": [(1, 2)], "S": [(9, 1)]}},
+        ]
+        for changes in batches:
+            runtime.transaction(**changes)
+            baseline.apply_change(**changes)
+            got = {("J",) + row for row in runtime.dump("J")} | {
+                ("OnlyR",) + row for row in runtime.dump("OnlyR")
+            }
+            assert got == baseline.installed

@@ -32,7 +32,7 @@ def run_example(name):
 @pytest.mark.parametrize(
     "name",
     ["quickstart", "snvs_demo", "reachability_routing", "ovn_growth_report",
-     "l3_router"],
+     "l3_router", "observability_demo"],
 )
 def test_example_runs(name):
     output = run_example(name)
@@ -53,3 +53,25 @@ def test_ovn_report_mentions_correlation():
 def test_l3_router_longest_prefix():
     output = run_example("l3_router")
     assert "port 3" in output  # the /24 won before withdrawal
+
+
+def test_observability_demo_traces_one_update_id():
+    output = run_example("observability_demo")
+    # One config change's trace covers every plane under a single id...
+    for stage in (
+        "mgmt.transact",
+        "controller.sync",
+        "engine.transaction",
+        "device.write",
+    ):
+        assert stage in output
+    import re
+
+    uid = re.search(r"update-id (upd-\d+)", output).group(1)
+    trace = output.split(f"trace {uid}")[1].split("\n\n")[0]
+    for stage in ("mgmt.transact", "engine.transaction", "device.write"):
+        assert stage in trace, f"{stage} missing from trace {uid}"
+    assert "operators=" in trace  # per-operator engine stats
+    # ...and the digest feedback links back to it.
+    assert f"links back to config change {uid}" in output
+    assert "mgmt_txns_total" in output  # registry export present

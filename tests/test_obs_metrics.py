@@ -1,0 +1,279 @@
+"""Tests for the observability metrics registry (``repro.obs``):
+basic metric semantics, exporters, and correctness under concurrency —
+a multi-thread counter hammer and a reconnect storm driven through the
+fault-injecting proxy."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.mgmt.client import ManagementClient
+from repro.mgmt.database import Database
+from repro.mgmt.schema import simple_schema
+from repro.mgmt.server import ManagementServer
+from repro.net import FaultInjector, RetryPolicy
+
+FAST = RetryPolicy(
+    connect_timeout=2.0,
+    call_timeout=2.0,
+    max_reconnect_attempts=60,
+    base_delay=0.01,
+    max_delay=0.05,
+)
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_for(predicate, timeout=10.0, what="condition"):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.fixture
+def obs_on():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestRegistryBasics:
+    def test_counter_increments(self):
+        reg = obs.MetricsRegistry()
+        c = reg.counter("syncs_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = obs.MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+        assert reg.counter("c").value == 0
+
+    def test_labels_distinguish_series(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("writes", device="d0").inc()
+        reg.counter("writes", device="d1").inc(2)
+        assert reg.counter("writes", device="d0").value == 1
+        assert reg.counter("writes", device="d1").value == 2
+
+    def test_get_or_create_returns_same_metric(self):
+        reg = obs.MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", a="1") is not reg.counter("x", a="2")
+
+    def test_type_conflict_raises(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("mixed")
+        with pytest.raises(TypeError):
+            reg.gauge("mixed")
+
+    def test_gauge_moves_both_ways(self):
+        reg = obs.MetricsRegistry()
+        g = reg.gauge("inflight")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value == 1
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_histogram_summary(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert 1.0 <= summary["p50"] <= 4.0
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+    def test_histogram_window_bounds_memory(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("lat", window=16)
+        for i in range(1000):
+            h.observe(float(i))
+        summary = h.summary()
+        assert summary["count"] == 1000  # exact totals survive
+        assert summary["p50"] >= 984.0  # percentiles cover the window
+
+    def test_snapshot_and_json(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a", plane="mgmt").inc(3)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"]['a{plane="mgmt"}'] == 3
+        assert snap["gauges"]["b"] == 1.5
+        assert snap["histograms"]["c"]["count"] == 1
+        import json
+
+        assert json.loads(reg.to_json()) == snap
+
+    def test_text_exporter_format(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("writes_total", device="d0").inc(2)
+        reg.histogram("sync_seconds").observe(0.5)
+        text = reg.to_text()
+        assert 'writes_total{device="d0"} 2' in text
+        assert "sync_seconds_count 1" in text
+        assert "sync_seconds_p50" in text
+
+    def test_reset_clears_metrics(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.counter("x").value == 0
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_span_is_noop_when_disabled(self):
+        before = len(obs.TRACER.spans())
+        with obs.span("nothing") as s:
+            s.set(ignored=True)
+        assert len(obs.TRACER.spans()) == before
+
+    def test_enabled_scope_restores(self):
+        assert not obs.enabled()
+        with obs.enabled_scope():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_detail_tier(self):
+        obs.enable()
+        assert obs.enabled() and not obs.detail_enabled()
+        obs.enable(detail=True)
+        assert obs.detail_enabled()
+        obs.disable()
+        assert not obs.enabled() and not obs.detail_enabled()
+
+    def test_registry_generation_advances_on_reset(self):
+        reg = obs.MetricsRegistry()
+        gen = reg.generation
+        handle = reg.counter("x")
+        reg.reset()
+        assert reg.generation == gen + 1
+        # stale handles must not alias the recreated metric
+        assert reg.counter("x") is not handle
+
+
+class TestConcurrency:
+    def test_counter_loses_no_increments(self):
+        reg = obs.MetricsRegistry()
+        counter = reg.counter("hammered")
+        n_threads, per_thread = 8, 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_labelled_counters_from_many_threads(self):
+        reg = obs.MetricsRegistry()
+        n_threads, per_thread = 6, 2_000
+
+        def hammer(idx):
+            for _ in range(per_thread):
+                # get-or-create races with other threads on purpose
+                reg.counter("events", worker=str(idx % 2)).inc()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = (
+            reg.counter("events", worker="0").value
+            + reg.counter("events", worker="1").value
+        )
+        assert total == n_threads * per_thread
+
+    def test_histogram_concurrent_observe(self):
+        reg = obs.MetricsRegistry()
+        hist = reg.histogram("lat")
+        n_threads, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        summary = hist.summary()
+        assert summary["count"] == n_threads * per_thread
+        assert summary["sum"] == pytest.approx(n_threads * per_thread)
+
+    @pytest.mark.slow
+    def test_reconnect_storm_counters(self, obs_on):
+        """Sever the mgmt connection repeatedly through the proxy and
+        check that net-layer counters stay consistent with the
+        connection's own bookkeeping: no lost increments, nothing
+        negative."""
+        db = Database(
+            simple_schema("net", {"Port": {"name": "string"}})
+        )
+        with ManagementServer(db, port=free_port()) as srv:
+            injector = FaultInjector(*srv.address, port=free_port()).start()
+            client = ManagementClient(*injector.address, policy=FAST)
+            try:
+                assert client.echo(["hello"]) == ["hello"]
+                storms = 5
+                for _ in range(storms):
+                    seen = client.conn.reconnects
+                    injector.sever()
+                    wait_for(
+                        lambda: client.conn.reconnects > seen
+                        and client.conn.state == "connected",
+                        what="reconnect",
+                    )
+                    assert client.echo(["ping"]) == ["ping"]
+                reconnect_counter = obs.REGISTRY.counter(
+                    "net_reconnects_total", conn="mgmt-client"
+                )
+                assert reconnect_counter.value == client.conn.reconnects
+                assert reconnect_counter.value >= storms
+                snap = obs.REGISTRY.snapshot()
+                assert all(v >= 0 for v in snap["counters"].values())
+                # every RETRYING transition recorded by the connection
+                # is mirrored in the registry
+                retrying = obs.REGISTRY.counter(
+                    "net_transitions_total", conn="mgmt-client",
+                    state="retrying",
+                )
+                assert retrying.value == client.conn.transitions.count(
+                    "retrying"
+                )
+            finally:
+                client.close()
+                injector.stop()

@@ -1,0 +1,295 @@
+"""End-to-end update-id tracing tests (``repro.obs``):
+
+one update-id minted at the OVSDB transact must appear on every stage
+of the resulting propagation — controller sync, engine transaction
+(with per-operator stats), and the P4Runtime table write — and digest
+feedback must link back to the trace of the config change that
+installed the digest-producing entries.  Covered both in-process and
+across the real TCP servers.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro import obs
+from repro.apps.snvs import SnvsNetwork, build_snvs
+from repro.core.controller import NerpaController
+from repro.mgmt.client import ManagementClient
+from repro.mgmt.database import Database
+from repro.mgmt.server import ManagementServer
+from repro.net import RetryPolicy
+from repro.p4.headers import ethernet
+from repro.p4runtime.client import P4RuntimeClient
+from repro.p4runtime.server import P4RuntimeServer
+
+A = "aa:00:00:00:00:0a"
+B = "aa:00:00:00:00:0b"
+
+FAST = RetryPolicy(
+    connect_timeout=2.0,
+    call_timeout=5.0,
+    max_reconnect_attempts=60,
+    base_delay=0.01,
+    max_delay=0.05,
+)
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_for(predicate, timeout=10.0, what="condition"):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.fixture
+def obs_on():
+    obs.reset()
+    obs.enable(detail=True)  # these tests inspect per-operator stats
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def span_names(uid):
+    return {s.name for s in obs.TRACER.spans(uid)}
+
+
+class TestLocalTracePath:
+    def test_transact_uid_reaches_device_write(self, obs_on):
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+        assert uid is not None
+        # The same id covers every plane of the propagation.
+        assert {
+            "mgmt.transact",
+            "controller.sync",
+            "engine.transaction",
+            "device.write",
+            "device.apply",
+        } <= span_names(uid)
+        for span in obs.TRACER.spans(uid):
+            assert span.duration >= 0.0
+
+    def test_engine_span_carries_operator_stats(self, obs_on):
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+        (engine_span,) = [
+            s
+            for s in obs.TRACER.spans(uid)
+            if s.name == "engine.transaction"
+        ]
+        operators = engine_span.attrs["operators"]
+        assert operators  # per-operator tuple counts and timings
+        assert all(
+            stats["calls"] >= 1 and stats["seconds"] >= 0.0
+            for stats in operators.values()
+        )
+        assert any(stats["in_tuples"] > 0 for stats in operators.values())
+        assert engine_span.attrs["stratum_seconds"]
+        assert engine_span.attrs["deltas"]
+
+    def test_spans_nest_under_controller_sync(self, obs_on):
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+        spans = {s.name: s for s in obs.TRACER.spans(uid)}
+        by_id = {s.span_id: s for s in obs.TRACER.spans(uid)}
+        sync = spans["controller.sync"]
+        assert by_id[spans["engine.transaction"].parent_id] is sync
+        assert by_id[spans["device.write"].parent_id] is sync
+        assert spans["device.apply"].parent_id == spans["device.write"].span_id
+        # and the sync itself is a child of the transact
+        assert by_id[sync.parent_id].name == "mgmt.transact"
+
+    def test_digest_feedback_links_to_originating_trace(self, obs_on):
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        net.add_access_port(1, vlan=10)
+        config_uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+        net.send(0, B, A)  # triggers a mac_learn_t digest
+        digests = [
+            s for s in obs.TRACER.spans() if s.name == "controller.digest"
+        ]
+        assert digests
+        digest_span = digests[-1]
+        # The feedback transaction has its own id...
+        assert digest_span.update_id != config_uid
+        # ...but links back to the config change whose entries produced
+        # the digest (the device's config epoch).
+        assert digest_span.attrs["link"] == config_uid
+        # and the feedback's own writes are traced under the new id.
+        assert "device.write" in span_names(digest_span.update_id)
+
+    def test_render_prints_full_pipeline(self, obs_on):
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+        text = obs.TRACER.render(uid)
+        assert f"trace {uid}" in text
+        for stage in (
+            "mgmt.transact",
+            "controller.sync",
+            "engine.transaction",
+            "device.write",
+        ):
+            assert stage in text
+        assert "ms]" in text  # per-stage durations
+
+    def test_standard_tier_skips_operator_profile(self):
+        """``enable()`` without detail still traces every stage but
+        leaves out the per-operator dataflow breakdown (the expensive
+        part), keeping the always-on tier cheap."""
+        obs.reset()
+        obs.enable()
+        try:
+            net = SnvsNetwork(n_ports=8)
+            net.add_vlan(10)
+            net.add_access_port(0, vlan=10)
+            uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+            assert {
+                "mgmt.transact",
+                "controller.sync",
+                "engine.transaction",
+                "device.write",
+            } <= span_names(uid)
+            (engine_span,) = [
+                s
+                for s in obs.TRACER.spans(uid)
+                if s.name == "engine.transaction"
+            ]
+            assert "operators" not in engine_span.attrs
+            assert obs.REGISTRY.histogram("engine_txn_seconds").count >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_disabled_stack_records_nothing(self):
+        obs.reset()
+        assert not obs.enabled()
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        net.send(0, B, A)
+        assert obs.TRACER.spans() == []
+        assert obs.REGISTRY.snapshot()["counters"] == {}
+
+    def test_registry_folds_all_planes(self, obs_on):
+        net = SnvsNetwork(n_ports=8)
+        net.add_vlan(10)
+        net.add_access_port(0, vlan=10)
+        net.send(0, B, A)
+        snap = obs.REGISTRY.snapshot()
+        counters = snap["counters"]
+        assert counters["mgmt_txns_total"] >= 3
+        assert snap["histograms"]["engine_txn_seconds"]["count"] >= 3
+        assert counters["controller_syncs_total"] >= 2
+        assert counters["dataplane_packets_total"] >= 1
+        assert any(k.startswith("dataplane_digests_total") for k in counters)
+        assert any(k.startswith("device_writes_total") for k in counters)
+        assert snap["histograms"]["controller_sync_seconds"]["count"] >= 2
+        metrics = net.metrics()
+        assert metrics["registry"]["counters"] == counters
+        assert metrics["engine"]["operators"]
+
+
+def _transact_config(transact):
+    transact(
+        [
+            {"op": "insert", "table": "Vlan", "row": {"vid": 10}},
+            {
+                "op": "insert",
+                "table": "SwitchConfig",
+                "row": {"name": "snvs", "learning_enabled": True},
+            },
+        ]
+    )
+    transact(
+        [
+            {
+                "op": "insert",
+                "table": "Port",
+                "row": {
+                    "name": f"port{p}",
+                    "port_num": p,
+                    "vlan_mode": "access",
+                    "tag": 10,
+                },
+            }
+            for p in (0, 1)
+        ]
+    )
+
+
+@pytest.mark.slow
+class TestRemoteTracePath:
+    def test_uid_crosses_both_wire_protocols(self, obs_on):
+        """mgmt server → controller → P4Runtime server, all over TCP:
+        the update-id minted server-side at the transact must reach the
+        device-side write span, and the digest notification must carry
+        it back for the feedback link."""
+        project = build_snvs()
+        db = Database(project.schema)
+        sim = project.new_simulator(n_ports=8)
+        mgmt_srv = ManagementServer(db, port=free_port()).start()
+        p4_srv = P4RuntimeServer(sim, port=free_port()).start()
+        mgmt = ManagementClient(*mgmt_srv.address, policy=FAST)
+        device = P4RuntimeClient(*p4_srv.address, policy=FAST)
+        controller = NerpaController(project, mgmt, [device]).start()
+        try:
+            _transact_config(mgmt.transact)
+            wait_for(
+                lambda: len(sim.table("in_vlan")) == 2,
+                what="config to reach the device",
+            )
+            uid = obs.TRACER.latest_update_id(name="mgmt.transact")
+            wait_for(
+                lambda: "device.apply" in span_names(uid),
+                what="device-side span for the transact's update-id",
+            )
+            names = span_names(uid)
+            assert {
+                "mgmt.transact",
+                "controller.sync",
+                "engine.transaction",
+                "device.write",
+                "device.apply",
+            } <= names
+
+            # Digest feedback over the wire links back to that uid.
+            device.inject(0, ethernet(B, A))
+
+            def digest_spans():
+                return [
+                    s
+                    for s in obs.TRACER.spans()
+                    if s.name == "controller.digest"
+                ]
+
+            wait_for(
+                lambda: len(digest_spans()) >= 1,
+                what="digest to round-trip",
+            )
+            assert digest_spans()[0].attrs["link"] == uid
+        finally:
+            controller.stop()
+            device.close()
+            mgmt.close()
+            p4_srv.stop()
+            mgmt_srv.stop()
