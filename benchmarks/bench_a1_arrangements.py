@@ -69,11 +69,11 @@ def _drive(node, n_rows):
 
 
 def make_arranged():
-    return JoinNode(lambda l: l[1], lambda r: r[0], lambda l, r: (l[0], r[1]))
+    return JoinNode(lambda a: a[1], lambda b: b[0], lambda a, b: (a[0], b[1]))
 
 
 def make_rescan():
-    return RescanJoinNode(lambda l: l[1], lambda r: r[0], lambda l, r: (l[0], r[1]))
+    return RescanJoinNode(lambda a: a[1], lambda b: b[0], lambda a, b: (a[0], b[1]))
 
 
 def run_ablation():

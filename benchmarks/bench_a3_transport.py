@@ -67,6 +67,7 @@ def run_over_tcp():
                     break
                 time.sleep(0.005)
             assert len(sim.table("in_vlan")) == N_PORTS
+            controller.drain()
             latencies = controller.sync_latencies[-N_PORTS:]
             return sum(latencies) / len(latencies)
         finally:

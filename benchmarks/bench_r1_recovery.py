@@ -175,7 +175,7 @@ def measure_device_recovery(expected: str) -> float:
                     }
                 ]
             )
-        assert controller.devices[0].quarantined
+        wait_until(lambda: controller.devices[0].quarantined)
         started = time.time()
         server = P4RuntimeServer(sim, port=port).start()
         wait_until(lambda: table_state(sim) == expected)

@@ -18,7 +18,6 @@ from repro.p4.headers import (
     ETHERTYPE_IPV4,
     EthernetView,
     ethernet,
-    ip_to_int,
     ipv4,
     mac_to_int,
 )
@@ -127,7 +126,7 @@ def main():
 
     db = Database(project.schema)
     router = project.new_simulator(n_ports=8)
-    NerpaController(project, db, [router]).start()
+    controller = NerpaController(project, db, [router]).start()
 
     print("\nInstalling routes 10.1.0.0/16 -> port 2, 10.1.2.0/24 -> port 3")
     db.transact(
@@ -154,6 +153,7 @@ def main():
             },
         ]
     )
+    controller.drain()  # wait for the pipeline to program the router
 
     for dst in ("10.1.9.9", "10.1.2.9", "192.168.0.1"):
         outputs = send(router, dst)
@@ -173,6 +173,7 @@ def main():
             }
         ]
     )
+    controller.drain()
     ((port, _),) = send(router, "10.1.2.9")
     print(f"  10.1.2.9 now follows the /16 -> port {port}")
     assert port == 2

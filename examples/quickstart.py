@@ -69,6 +69,7 @@ def main():
     db.transact(
         [{"op": "insert", "table": "PortCfg", "row": {"port": 1, "out_port": 5}}]
     )
+    controller.drain()  # wait for the pipeline to program the switch
     print("Table entries now installed:", len(switch.table("patch")))
     outputs = switch.inject(1, frame)
     print("After configuration: packet on port 1 ->", outputs)
@@ -76,6 +77,7 @@ def main():
 
     print("\nAdministrator removes the patch...")
     db.transact([{"op": "delete", "table": "PortCfg", "where": []}])
+    controller.drain()
     print("After removal: packet on port 1 ->", switch.inject(1, frame))
 
     print("\nController metrics:", controller.metrics())

@@ -45,6 +45,7 @@ class SnvsNetwork:
                 }
             ]
         )
+        self.controller.drain()
         return result["uuid"]
 
     def add_access_port(self, port: int, vlan: int, name: str = "") -> str:
@@ -62,6 +63,7 @@ class SnvsNetwork:
                 }
             ]
         )
+        self.controller.drain()
         return result["uuid"]
 
     def add_trunk_port(
@@ -86,6 +88,7 @@ class SnvsNetwork:
                 }
             ]
         )
+        self.controller.drain()
         return result["uuid"]
 
     def remove_port(self, port: int) -> None:
@@ -98,6 +101,7 @@ class SnvsNetwork:
                 }
             ]
         )
+        self.controller.drain()
 
     def add_mirror(self, src_port: int, dst_port: int, name: str = "") -> str:
         (result,) = self.db.transact(
@@ -113,6 +117,7 @@ class SnvsNetwork:
                 }
             ]
         )
+        self.controller.drain()
         return result["uuid"]
 
     def block_mac(self, vlan: int, mac: str) -> str:
@@ -125,6 +130,7 @@ class SnvsNetwork:
                 }
             ]
         )
+        self.controller.drain()
         return result["uuid"]
 
     def set_learning(self, enabled: bool) -> None:
@@ -138,6 +144,7 @@ class SnvsNetwork:
                 },
             ]
         )
+        self.controller.drain()
 
     # -- traffic -----------------------------------------------------------------
 
@@ -156,7 +163,11 @@ class SnvsNetwork:
         this call returns.
         """
         frame = ethernet(dst, src, vlan=vlan, payload=payload)
-        return self.switch.inject(port, frame)
+        outputs = self.switch.inject(port, frame)
+        # Digest feedback rides the asynchronous pipeline; drain it so
+        # learning is visible before the next frame.
+        self.controller.drain()
+        return outputs
 
     # -- inspection ---------------------------------------------------------------
 

@@ -1,48 +1,54 @@
 """The Nerpa controller: state synchronization across the three planes.
 
-The controller owns the runtime loop the paper describes in §3:
+The controller owns the runtime loop the paper describes in §3, run as
+a **staged pipeline** (see ``docs/ARCHITECTURE.md``):
 
-* it subscribes to the management database's change stream; each
-  committed transaction becomes one control-plane transaction;
-* the control program's *output deltas* become P4Runtime table writes,
-  pushed to every managed device (deletes before inserts, batched
-  atomically per sync);
-* data-plane **digests** (e.g. MAC learning) come back as insertions
-  into the corresponding generated input relation — the feedback loop;
-* rows of the reserved ``MulticastGroup(group, port)`` output relation
-  are folded into per-group port lists and applied as multicast
-  configuration.
+* **ingest** (stage 1, caller threads) — each committed management
+  transaction becomes a :class:`~repro.core.pipeline.Changeset`; data
+  plane **digests** (e.g. MAC learning) become digest changesets — the
+  feedback loop.  Changesets land on a bounded coalescing queue, so a
+  burst of transactions collapses into one net changeset while the
+  engine is busy (modify = delete+insert pairs cancel, last writer
+  wins per row key);
+* **evaluate** (stage 2, the engine thread) — one engine transaction
+  per changeset; the control program's *output deltas* fan out as one
+  :class:`~repro.core.pipeline.DeviceBatch` per device.  Rows of the
+  reserved ``MulticastGroup(group, port)`` output relation are folded
+  into per-group port lists and ride the same batch;
+* **apply** (stage 3, one writer thread per device) — batches merge on
+  each device's own coalescing queue and go out as a single batched
+  P4Runtime write (deletes before inserts, atomic per batch, in
+  engine-transaction order).  Device I/O is parallel across devices
+  and holds **no** controller-wide lock, so a slow or broken device
+  backs up only its own queue — never the engine or its peers.
 
-Event processing is synchronous and serialized by a lock, so it works
-identically whether the management plane is an in-process
-:class:`~repro.mgmt.database.Database` (callbacks arrive on the writing
-thread) or a remote :class:`~repro.mgmt.client.ManagementClient`
-(callbacks arrive on its dispatcher thread).
+:meth:`NerpaController.drain` waits for end-to-end quiescence and
+surfaces semantic errors (``WriteError`` etc.) deferred by the
+asynchronous stages; ``start()`` and ``stop()`` drain internally, so
+synchronous callers keep their old contract.
 
 **Fault tolerance.**  The control plane is the authoritative copy of
 both neighbors' state, so every failure is recovered by *rebuilding
-from the engine*:
+from the engine* — as pipeline work items, never under a global lock:
 
-* management-plane reconnect → re-issue the monitor subscription, diff
-  the fresh snapshot against the engine's input relations
-  (``runtime.dump``), and push the delete/insert delta through the
-  normal sync path;
-* device reconnect → replay the engine's current output relations as a
-  read-diff full sync (stale entries deleted, missing ones inserted,
-  multicast groups re-applied);
+* management-plane reconnect → an engine-thread task re-issues the
+  monitor subscription and diffs the fresh snapshot against the
+  engine's input relations (``runtime.dump``); because the task runs
+  on the engine thread, monitor updates racing the reconnect are
+  ordered strictly after the reconcile;
+* device reconnect → a resync task on that device's writer queue
+  replays the engine's output relations as a read-diff full sync,
+  superseding any queued incremental batches;
 * a device that fails ``breaker_threshold`` consecutive syncs with a
-  transport error is **quarantined**: the sync loop skips it (healthy
-  devices are never blocked behind a dead one) until its connection
-  recovers, at which point the reconnect full-sync repairs everything
-  it missed.
-
-:meth:`NerpaController.health` reports per-peer connection state,
-retry counts, quarantine flags, and the transition history
-(``connected → retrying → quarantined → recovered``).
+  transport error is **quarantined**: its writer drops batches without
+  touching the wire until the connection recovers and the resync
+  repairs everything it missed.
 
 Per-sync latency — the interval the paper measures in §4.3 between the
 controller *reading* a change and the data-plane entry being written —
-is recorded in :attr:`NerpaController.sync_latencies`.
+is recorded end-to-end (ingest enqueue → device apply) in
+:attr:`NerpaController.sync_latencies`, and per device in each managed
+device's ``latencies``.
 """
 
 from __future__ import annotations
@@ -55,8 +61,9 @@ from repro import obs
 from repro.analysis.stats import percentile
 from repro.core.codegen import TableBinding
 from repro.core.pipeline import MULTICAST_RELATION, NerpaProject
+from repro.core.pipeline.changeset import Changeset, DeviceBatch
+from repro.core.pipeline.queues import CoalescingQueue
 from repro.core.typebridge import dlog_value_to_match, ovsdb_value_to_dlog
-from repro.dlog.dataflow.zset import ZSet
 from repro.dlog.values import StructValue
 from repro.errors import ProtocolError, ReproError, TypeCheckError
 from repro.mgmt.database import Database
@@ -67,8 +74,9 @@ from repro.p4.tables import TableEntry
 from repro.p4runtime.api import DeviceService, TableWrite
 
 #: Exceptions treated as *transport* failures by the circuit breaker.
-#: Semantic rejections (``WriteError`` etc.) still propagate — they
-#: indicate a controller bug, not a flaky peer.
+#: Semantic rejections (``WriteError`` etc.) are deferred to
+#: :meth:`NerpaController.drain` — they indicate a controller bug, not
+#: a flaky peer.
 _TRANSPORT_ERRORS = (ProtocolError, OSError)
 
 
@@ -128,6 +136,11 @@ class _LocalDevice:
     def write(self, updates) -> None:
         self.service.write(updates)
 
+    def apply_batch(self, updates, mcast=None, update_ids=None) -> None:
+        # The caller (writer thread) binds the batch's update-id on the
+        # context, which is how the service stamps the config epoch.
+        self.service.apply_batch(updates, mcast)
+
     def read_table(self, table: str):
         return [
             TableWrite("INSERT", table, e)
@@ -162,6 +175,9 @@ class _LocalDevice:
     def on_reconnect(self, hook) -> None:
         pass  # in-process devices do not disconnect
 
+    def wait_ready(self, timeout: float) -> bool:
+        return True
+
     def note_event(self, tag: str) -> None:
         self._event_log.append(tag)
 
@@ -180,6 +196,9 @@ class _RemoteDevice:
     def write(self, updates) -> None:
         self.client.write(updates)
 
+    def apply_batch(self, updates, mcast=None, update_ids=None) -> None:
+        self.client.apply_batch(updates, mcast, update_ids)
+
     def read_table(self, table: str):
         return self.client.read_table(table)
 
@@ -194,6 +213,11 @@ class _RemoteDevice:
 
     def on_reconnect(self, hook) -> None:
         self.client.on_reconnect(hook)
+
+    def wait_ready(self, timeout: float) -> bool:
+        # Backpressure awareness: park until the transport is usable
+        # instead of burning a call timeout per queued batch.
+        return self.client.conn.wait_connected(timeout)
 
     def note_event(self, tag: str) -> None:
         self.client.conn.note_event(tag)
@@ -213,6 +237,11 @@ class _ManagedDevice:
         self.syncs_missed = 0
         self.resyncs = 0
         self.last_error: Optional[str] = None
+        #: Round trips issued by this device's writer (a coalesced
+        #: batch counts once — the batching win is visible here).
+        self.writes_issued = 0
+        #: End-to-end latencies (ingest enqueue → applied) per batch.
+        self.latencies: List[float] = []
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
@@ -250,6 +279,65 @@ class _ManagedDevice:
         return report
 
 
+class _EngineTask:
+    """A control item for the engine thread (reconciles, snapshots)."""
+
+    __slots__ = ("fn", "event", "result", "error")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.event = threading.Event()
+        self.result = None
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self.result = self.fn()
+        except BaseException as exc:  # noqa: BLE001 - handed to waiter
+            self.error = exc
+        finally:
+            self.event.set()
+
+
+class _WriterTask:
+    """A control item for one device's writer thread (resyncs)."""
+
+    __slots__ = ("fn", "event", "error")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.event = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def run(self, device: "_ManagedDevice") -> None:
+        try:
+            self.fn(device)
+        except BaseException as exc:  # noqa: BLE001 - handed to waiter
+            self.error = exc
+        finally:
+            self.event.set()
+
+
+class _DeviceWriter:
+    """Stage 3: one device's coalescing queue plus its writer thread."""
+
+    def __init__(self, controller: "NerpaController", device: _ManagedDevice):
+        self.controller = controller
+        self.device = device
+        self.queue = CoalescingQueue(
+            name=device.name, maxlen=512, merge=controller.coalesce
+        )
+        self.thread = threading.Thread(
+            target=controller._writer_loop,
+            args=(self,),
+            name=f"nerpa-writer-{device.name}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+
 def _wrap_device(target):
     from repro.p4runtime.client import P4RuntimeClient
 
@@ -279,6 +367,7 @@ class NerpaController:
         mgmt,
         devices,
         breaker_threshold: int = 3,
+        coalesce: bool = True,
     ):
         self.project = project
         self.bindings = project.bindings
@@ -289,14 +378,27 @@ class NerpaController:
             for i, d in enumerate(devices)
         ]
         self.breaker_threshold = breaker_threshold
-        self._lock = threading.RLock()
+        #: ``coalesce=False`` disables queue-tail merging (one wire
+        #: write per engine transaction) — the unbatched baseline the
+        #: pipeline benchmark compares against.
+        self.coalesce = coalesce
+        # Multicast membership is engine-thread state: only stage 2
+        # reads or mutates it (snapshots are taken via engine tasks).
         self._mcast_members: Dict[int, set] = {}
         self._started = False
-        # When not None, table writes are collected here instead of
-        # being sent (used to compute the desired state on a
-        # reconciling restart).  Multicast config is idempotent and is
-        # always applied directly.
-        self._buffer_writes: Optional[List[TableWrite]] = None
+        # When not None, the evaluate stage collects table writes here
+        # instead of fanning them out (used to compute the desired
+        # state on a reconciling restart).  Multicast config is
+        # idempotent and is always applied directly.
+        self._buffer: Optional[List[TableWrite]] = None
+
+        # Pipeline plumbing (built in start()).
+        self._engine_queue: Optional[CoalescingQueue] = None
+        self._engine_thread: Optional[threading.Thread] = None
+        self._writers: List[_DeviceWriter] = []
+        self._seq = 0
+        self._errors: List[BaseException] = []
+        self._stats_lock = threading.Lock()
 
         # Metrics.
         self.sync_count = 0
@@ -306,6 +408,11 @@ class NerpaController:
         self.mgmt_reconciles = 0
         self.device_resyncs = 0
         self.last_result = None
+        self._stage_seconds: Dict[str, List[float]] = {
+            "ingest": [],
+            "evaluate": [],
+            "apply": [],
+        }
 
         self._ovsdb_tables = list(self.bindings.relation_for_ovsdb)
         # Cache of schema column order per OVSDB table.
@@ -317,7 +424,7 @@ class NerpaController:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self, reconcile: bool = False) -> "NerpaController":
-        """Subscribe to both ends and sync the initial state.
+        """Start the pipeline, subscribe to both ends, sync initial state.
 
         With ``reconcile=True`` the controller assumes it may be
         restarting against devices that already hold entries (e.g. the
@@ -326,75 +433,125 @@ class NerpaController:
         snapshot, reads each device's tables, and issues only the
         difference — stale entries are deleted, missing ones inserted,
         already-correct ones left untouched.
+
+        Blocks until the initial state is applied; semantic write
+        failures (e.g. colliding entries without ``reconcile``) are
+        raised here.
         """
         if self._started:
             raise ReproError("controller already started")
         self._started = True
+        self._engine_queue = CoalescingQueue(
+            name="engine", maxlen=1024, merge=self.coalesce
+        )
+        self._engine_thread = threading.Thread(
+            target=self._engine_loop, name="nerpa-engine", daemon=True
+        )
+        self._engine_thread.start()
+        self._writers = [
+            _DeviceWriter(self, device) for device in self.devices
+        ]
+        for writer in self._writers:
+            writer.start()
         for device in self.devices:
             device.io.attach_digests(self._on_digest)
             device.io.on_reconnect(self._device_reconnect_hook(device))
         if reconcile:
-            # Compute desired state silently (buffer writes), then diff.
-            self._buffer_writes = []
-            self._push_outputs(self.runtime.initial_result)
+            # Compute desired state silently (buffer the writes), then
+            # read-diff every device in parallel on its own writer.
+            self._buffer = []
+            self._submit_engine(self._push_initial, wait=False)
             initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
             self._on_updates(initial)
-            desired = self._buffer_writes
-            self._buffer_writes = None
-            self._reconcile(desired)
+            self.drain()
+            desired = self._buffer or []
+            self._buffer = None
+            tasks = []
+            for writer in self._writers:
+                task = _WriterTask(
+                    lambda device, d=desired: self._run_resync(
+                        device, d, {}, recover=False, count=False
+                    )
+                )
+                writer.queue.put(task)
+                tasks.append(task)
+            for task in tasks:
+                task.event.wait(30.0)
         else:
-            self._push_outputs(self.runtime.initial_result)
+            self._submit_engine(self._push_initial, wait=False)
             initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
             self._on_updates(initial)
         self.mgmt.on_reconnect(self._on_mgmt_reconnect)
+        self.drain()
         return self
 
-    def _reconcile(
-        self,
-        desired_writes: List[TableWrite],
-        devices: Optional[List[_ManagedDevice]] = None,
-    ) -> None:
-        """Bring every targeted device to exactly the desired entry set."""
-        desired: Dict[str, Dict[tuple, TableWrite]] = {}
-        for write in desired_writes:
-            if write.kind == "INSERT":
-                desired.setdefault(write.table, {})[
-                    write.entry.match_key()
-                ] = write
-            elif write.kind == "DELETE":
-                desired.get(write.table, {}).pop(write.entry.match_key(), None)
-        for device in devices if devices is not None else self.devices:
-            fixes: List[TableWrite] = []
-            for binding in self.bindings.table_relations.values():
-                table = binding.info.name
-                want = dict(desired.get(table, {}))
-                for existing in device.io.read_table(table):
-                    key = existing.entry.match_key()
-                    wanted = want.pop(key, None)
-                    if wanted is None:
-                        fixes.append(
-                            TableWrite.delete(table, existing.entry)
-                        )
-                    elif (
-                        wanted.entry.action != existing.entry.action
-                        or wanted.entry.action_params
-                        != existing.entry.action_params
-                    ):
-                        fixes.append(TableWrite.modify(table, wanted.entry))
-                fixes.extend(want.values())  # still-missing entries
-            fixes.sort(key=lambda w: 0 if w.kind == "DELETE" else 1)
-            if fixes:
-                device.io.write(fixes)
-                self.entries_written += len(fixes)
+    def _push_initial(self) -> None:
+        """Engine task: fan out the program's initial output state."""
+        self._fan_out(
+            self.runtime.initial_result,
+            update_ids=[],
+            parent=None,
+            first_enqueued=time.perf_counter(),
+            txns=1,
+        )
+
+    def drain(self, timeout: float = 30.0) -> "NerpaController":
+        """Block until the pipeline is quiescent end to end.
+
+        Every ingested changeset has been evaluated and every resulting
+        device batch applied (or skipped by a quarantined device's
+        breaker).  Semantic errors deferred by the asynchronous stages
+        — a rejected write, an ill-typed action row — are re-raised
+        here; transport failures are *not* errors (the breaker and
+        resync machinery own those).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._engine_queue is not None:
+                self._engine_queue.join(deadline)
+            for writer in self._writers:
+                writer.queue.join(deadline)
+            error: Optional[BaseException] = None
+            with self._stats_lock:
+                if self._errors:
+                    error = self._errors[0]
+                    self._errors.clear()
+            if error is not None:
+                raise error
+            # A digest arriving mid-drain (or a stage handing work to
+            # the next) re-fills an earlier queue — loop until a full
+            # pass sees everything quiet.
+            if (
+                self._engine_queue is None
+                or self._engine_queue.unfinished == 0
+            ) and all(w.queue.unfinished == 0 for w in self._writers):
+                return self
 
     def stop(self) -> None:
-        # Best-effort: stopping a stack whose management plane is
-        # already down must not raise out of teardown.
+        """Drain best-effort, then shut the pipeline down.
+
+        Stopping a stack whose management plane is already down must
+        not raise out of teardown.
+        """
+        if self._started:
+            try:
+                self.drain(timeout=10.0)
+            except ReproError:
+                pass
         try:
             self.mgmt.unsubscribe()
         except (ProtocolError, OSError):
             pass
         self._started = False
+        if self._engine_queue is not None:
+            self._engine_queue.close()
+        for writer in self._writers:
+            writer.queue.close()
+        if self._engine_thread is not None:
+            self._engine_thread.join(timeout=2.0)
+            self._engine_thread = None
+        for writer in self._writers:
+            writer.thread.join(timeout=2.0)
 
     def __enter__(self) -> "NerpaController":
         return self.start()
@@ -402,138 +559,77 @@ class NerpaController:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    # -- recovery ----------------------------------------------------------------
-
-    def _on_mgmt_reconnect(self) -> None:
-        """The management channel came back (possibly to a restarted
-        server).  Re-subscribe, then reconcile the fresh snapshot
-        against the engine's input relations: rows that vanished while
-        we were deaf become deletes, new rows become inserts, and the
-        resulting deltas flow through the normal sync path."""
-        with self._lock:
-            if not self._started:
-                return
-            fresh = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
-            inserts: Dict[str, List[tuple]] = {}
-            deletes: Dict[str, List[tuple]] = {}
-            for table in self._ovsdb_tables:
-                relation = self.bindings.relation_for_ovsdb[table]
-                fresh_rows = set()
-                for uuid, update in fresh.table(table).items():
-                    if update.new is not None:
-                        fresh_rows.add(
-                            self._row_to_dlog(table, uuid, update.new)
-                        )
-                current = self.runtime.dump(relation)
-                stale = current - fresh_rows
-                missing = fresh_rows - current
-                if stale:
-                    deletes[relation] = list(stale)
-                if missing:
-                    inserts[relation] = list(missing)
-            self.mgmt_reconciles += 1
-            if not inserts and not deletes:
-                return
-            result = self.runtime.transaction(inserts=inserts, deletes=deletes)
-            self._push_outputs(result)
-            self.sync_count += 1
-            self.last_result = result
-
-    def _device_reconnect_hook(self, device: _ManagedDevice):
-        def hook() -> None:
-            self.resync_device(device)
-
-        return hook
-
-    def resync_device(self, device) -> None:
-        """Full-sync one device from the engine's output relations.
-
-        ``device`` may be a :class:`_ManagedDevice` or an index into
-        :attr:`devices`.  The engine is authoritative: the device's
-        tables are read, diffed against the replayed outputs, and
-        repaired; multicast groups are re-applied.  Clears quarantine.
-        """
-        if isinstance(device, int):
-            device = self.devices[device]
-        with self._lock:
-            self._reconcile(self._desired_writes(), devices=[device])
-            for group, members in sorted(self._mcast_members.items()):
-                if members:
-                    device.io.set_multicast_group(group, sorted(members))
-            device.recover()
-            self.device_resyncs += 1
-
-    def _desired_writes(self) -> List[TableWrite]:
-        """Replay the engine's current output relations as inserts —
-        the authoritative desired state of every device table."""
-        writes: List[TableWrite] = []
-        for relation, binding in self.bindings.table_relations.items():
-            for row in self.runtime.dump(relation):
-                writes.append(
-                    TableWrite.insert(
-                        binding.info.name, self._row_to_entry(binding, row)
-                    )
-                )
-        return writes
-
-    # -- management-plane events ---------------------------------------------------
+    # -- stage 1: ingest ---------------------------------------------------------
 
     def _on_updates(self, updates: TableUpdates) -> None:
-        with self._lock:
-            started = time.perf_counter()
-            inserts: Dict[str, List[tuple]] = {}
-            deletes: Dict[str, List[tuple]] = {}
-            for table, rows in updates:
-                relation = self.bindings.relation_for_ovsdb.get(table)
-                if relation is None:
-                    continue
-                for uuid, update in rows.items():
-                    if update.kind == "insert":
-                        inserts.setdefault(relation, []).append(
-                            self._row_to_dlog(table, uuid, update.new)
-                        )
-                    elif update.kind == "delete":
-                        deletes.setdefault(relation, []).append(
-                            self._row_to_dlog(table, uuid, update.old)
-                        )
-                    else:  # modify: old carries only the changed columns
-                        old_full = dict(update.new)
-                        old_full.update(update.old)
-                        deletes.setdefault(relation, []).append(
-                            self._row_to_dlog(table, uuid, old_full)
-                        )
-                        inserts.setdefault(relation, []).append(
-                            self._row_to_dlog(table, uuid, update.new)
-                        )
-            if not inserts and not deletes:
-                return
-            if obs.enabled():
-                # Inherit the transact's update-id (bound by the mgmt
-                # plane around this callback); the initial snapshot has
-                # none, so mint one for it.
-                uid = current_update_id() or obs.mint_update_id()
-                rows = sum(map(len, inserts.values())) + sum(
-                    map(len, deletes.values())
-                )
-                with use_update_id(uid), obs.TRACER.span(
-                    "controller.sync", update_id=uid, rows=rows
-                ):
-                    result = self.runtime.transaction(
-                        inserts=inserts, deletes=deletes
+        """Monitor delivery → changeset → engine queue (caller thread)."""
+        started = time.perf_counter()
+        changeset = Changeset("mgmt")
+        changeset.txns = 1
+        for table, rows in updates:
+            relation = self.bindings.relation_for_ovsdb.get(table)
+            if relation is None:
+                continue
+            for uuid, update in rows.items():
+                key = (table, uuid)
+                if update.kind == "insert":
+                    changeset.record_insert(
+                        relation, key, self._row_to_dlog(table, uuid, update.new)
                     )
-                    self._push_outputs(result)
-                obs.REGISTRY.counter("controller_syncs_total").inc()
-                obs.REGISTRY.histogram("controller_sync_seconds").observe(
-                    time.perf_counter() - started
-                )
-            else:
-                result = self.runtime.transaction(
-                    inserts=inserts, deletes=deletes
-                )
-                self._push_outputs(result)
-            self.sync_count += 1
-            self.sync_latencies.append(time.perf_counter() - started)
-            self.last_result = result
+                elif update.kind == "delete":
+                    changeset.record_delete(
+                        relation, key, self._row_to_dlog(table, uuid, update.old)
+                    )
+                else:  # modify: old carries only the changed columns
+                    old_full = dict(update.new)
+                    old_full.update(update.old)
+                    changeset.record_delete(
+                        relation, key, self._row_to_dlog(table, uuid, old_full)
+                    )
+                    changeset.record_insert(
+                        relation, key, self._row_to_dlog(table, uuid, update.new)
+                    )
+        if not changeset.ops:
+            return
+        if obs.enabled():
+            # Inherit the transact's update-id (bound by the mgmt plane
+            # around this callback); the initial snapshot has none, so
+            # mint one for it.  The parent span (``mgmt.transact``) is
+            # captured so the evaluation can nest under it across the
+            # thread hop.
+            uid = current_update_id() or obs.mint_update_id()
+            changeset.update_ids.append(uid)
+            changeset.parent = obs.TRACER.active()
+            with obs.TRACER.span(
+                "pipeline.ingest", update_id=uid, rows=changeset.row_count()
+            ):
+                self._enqueue(changeset)
+        else:
+            self._enqueue(changeset)
+        self._stage_seconds["ingest"].append(time.perf_counter() - started)
+
+    def _on_digest(self, name: str, values: Tuple[int, ...]) -> None:
+        """Data-plane feedback → digest changeset → engine queue."""
+        relation = self.bindings.digest_relations.get(name)
+        if relation is None:
+            return
+        changeset = Changeset("digest")
+        changeset.digests = 1
+        changeset.digest_name = name
+        # The delivery path bound the update-id of the config change
+        # whose entries produced this digest; the feedback transaction
+        # gets a fresh id linked back (minted at evaluation).
+        changeset.link = current_update_id()
+        row = tuple(values)
+        changeset.record_insert(relation, (relation, row), row)
+        self._enqueue(changeset)
+
+    def _enqueue(self, changeset: Changeset) -> None:
+        queue = self._engine_queue
+        if queue is None:
+            raise ReproError("controller not started")
+        queue.put(changeset)
+        self._gauge_depth("engine", queue)
 
     def _row_to_dlog(self, table: str, uuid: str, row: dict) -> tuple:
         values = [uuid]
@@ -541,130 +637,170 @@ class NerpaController:
             values.append(ovsdb_value_to_dlog(column.type, row[column.name]))
         return tuple(values)
 
-    # -- data-plane feedback -----------------------------------------------------------
+    # -- stage 2: evaluate -------------------------------------------------------
 
-    def _on_digest(self, name: str, values: Tuple[int, ...]) -> None:
-        relation = self.bindings.digest_relations.get(name)
-        if relation is None:
-            return
-        with self._lock:
-            started = time.perf_counter()
-            if obs.enabled():
-                # The delivery path bound the update-id of the config
-                # change whose entries produced this digest; the
-                # feedback transaction gets a fresh id linked back.
-                link = current_update_id()
+    def _engine_loop(self) -> None:
+        queue = self._engine_queue
+        while True:
+            item = queue.pop()
+            if item is None:
+                return
+            self._gauge_depth("engine", queue)
+            try:
+                if isinstance(item, _EngineTask):
+                    item.run()
+                else:
+                    self._evaluate(item)
+            except Exception as exc:  # noqa: BLE001 - surfaced at drain()
+                self._defer_error(exc)
+            finally:
+                queue.task_done()
+
+    def _submit_engine(self, fn, wait: bool = True, timeout: float = 30.0):
+        """Run ``fn`` on the engine thread (it owns runtime + mcast)."""
+        queue = self._engine_queue
+        if queue is None or queue.closed:
+            raise ReproError("controller not started")
+        task = _EngineTask(fn)
+        queue.put(task)
+        if not wait:
+            return None
+        if not task.event.wait(timeout):
+            raise ReproError("engine task timed out")
+        if task.error is not None:
+            raise task.error
+        return task.result
+
+    def _evaluate(self, changeset: Changeset) -> None:
+        """One engine transaction for one (possibly coalesced) changeset."""
+        started = time.perf_counter()
+        inserts, deletes = changeset.to_transaction()
+        if not inserts and not deletes:
+            return  # burst coalesced away to nothing
+        is_digest = changeset.source == "digest"
+        if obs.enabled():
+            if is_digest:
                 uid = obs.mint_update_id()
-                with use_update_id(uid), obs.TRACER.span(
+                span = obs.TRACER.span(
                     "controller.digest",
                     update_id=uid,
-                    digest=name,
-                    link=link,
-                ):
-                    result = self.runtime.transaction(
-                        inserts={relation: [tuple(values)]}
-                    )
-                    self.digests_processed += 1
-                    pushed = bool(result.deltas)
-                    if pushed:
-                        self._push_outputs(result)
-                obs.REGISTRY.counter(
-                    "controller_digests_total", digest=name
-                ).inc()
-                if pushed:
-                    self.sync_count += 1
-                    self.sync_latencies.append(
-                        time.perf_counter() - started
-                    )
-                    self.last_result = result
-            else:
-                result = self.runtime.transaction(
-                    inserts={relation: [tuple(values)]}
+                    digest=changeset.digest_name,
+                    link=changeset.link,
                 )
-                self.digests_processed += 1
-                if result.deltas:
-                    self._push_outputs(result)
-                    self.sync_count += 1
-                    self.sync_latencies.append(
-                        time.perf_counter() - started
-                    )
-                    self.last_result = result
+                update_ids = [uid]
+            else:
+                uid = changeset.update_id or obs.mint_update_id()
+                span = obs.TRACER.span(
+                    "controller.sync",
+                    update_id=uid,
+                    rows=changeset.row_count(),
+                    txns=changeset.txns,
+                )
+                update_ids = changeset.update_ids or [uid]
+            with obs.TRACER.adopt(changeset.parent), use_update_id(uid), span:
+                result = self.runtime.transaction(
+                    inserts=inserts, deletes=deletes
+                )
+                self._fan_out(
+                    result,
+                    update_ids=update_ids,
+                    parent=span,
+                    first_enqueued=changeset.first_enqueued,
+                    txns=max(changeset.txns, 1),
+                )
+            if is_digest:
+                obs.REGISTRY.counter(
+                    "controller_digests_total",
+                    digest=changeset.digest_name or "?",
+                ).inc(changeset.digests)
+            else:
+                obs.REGISTRY.counter("controller_syncs_total").inc()
+                obs.REGISTRY.histogram("controller_sync_seconds").observe(
+                    time.perf_counter() - started
+                )
+        else:
+            result = self.runtime.transaction(inserts=inserts, deletes=deletes)
+            self._fan_out(
+                result,
+                update_ids=[],
+                parent=None,
+                first_enqueued=changeset.first_enqueued,
+                txns=max(changeset.txns, 1),
+            )
+        if is_digest:
+            self.digests_processed += changeset.digests
+            if result.deltas:
+                self.sync_count += 1
+                self.last_result = result
+        else:
+            self.sync_count += 1
+            self.last_result = result
+        self._stage_seconds["evaluate"].append(time.perf_counter() - started)
 
-    # -- output propagation --------------------------------------------------------------
-
-    def _push_outputs(self, result) -> None:
-        writes: List[TableWrite] = []
+    def _fan_out(
+        self,
+        result,
+        update_ids: List[str],
+        parent,
+        first_enqueued: float,
+        txns: int,
+    ) -> None:
+        """Output deltas → one coalescible batch per device queue."""
+        self._seq += 1
+        template = DeviceBatch(self._seq)
+        template.update_ids = list(update_ids)
+        template.parent = parent
+        template.first_enqueued = first_enqueued
+        template.txns = txns
         for relation, delta in result.deltas.items():
             binding = self.bindings.table_relations.get(relation)
             if binding is not None:
-                writes.extend(self._delta_to_writes(binding, delta))
+                table = binding.info.name
+                for row, weight in delta.items():
+                    entry = self._row_to_entry(binding, row)
+                    if weight > 0:
+                        template.record_insert(table, entry.match_key(), entry)
+                    else:
+                        template.record_delete(table, entry.match_key(), entry)
             elif relation == MULTICAST_RELATION:
-                self._apply_multicast(delta)
-        if not writes:
+                template.mcast.update(self._fold_multicast(delta))
+        if self._buffer is not None:
+            # Reconciling restart: collect the would-be writes; only
+            # (idempotent) multicast config goes to the devices now.
+            self._buffer.extend(template.emit_writes())
+            if not template.mcast:
+                return
+            template.ops = {}
+        if template.is_empty():
             return
-        # Deletes first so a changed entry (delete+insert with the same
-        # match key) never collides.
-        writes.sort(key=lambda w: 0 if w.kind == "DELETE" else 1)
-        if self._buffer_writes is not None:
-            self._buffer_writes.extend(writes)
-            return
-        for device in self.devices:
-            if obs.enabled():
-                with obs.TRACER.span(
-                    "device.write", device=device.name, writes=len(writes)
-                ) as span:
-                    applied = self._breaker_write(
-                        device, lambda io: io.write(writes)
-                    )
-                    span.set(applied=applied)
-            else:
-                applied = self._breaker_write(
-                    device, lambda io: io.write(writes)
-                )
-            if applied:
-                self.entries_written += len(writes)
+        for writer in self._writers:
+            writer.queue.put(template.copy_for_device())
+            self._gauge_depth(writer.device.name, writer.queue)
 
-    def _breaker_write(self, device: _ManagedDevice, op) -> bool:
-        """Apply ``op`` to one device through its circuit breaker.
+    def _fold_multicast(self, delta) -> Dict[int, Optional[List[int]]]:
+        """Fold a MulticastGroup delta into per-group port lists.
 
-        Returns True if the write was applied.  Quarantined devices are
-        skipped (their state is repaired wholesale on recovery); a
-        transport failure counts toward the breaker threshold.  Semantic
-        rejections propagate — they are bugs, not outages.
+        Mutates the engine-thread-owned membership map and returns the
+        net config ops (``None`` = delete the group) for the batch.
         """
-        if device.quarantined:
-            device.syncs_missed += 1
-            if obs.enabled():
-                obs.REGISTRY.counter(
-                    "controller_syncs_skipped_total", device=device.name
-                ).inc()
-            return False
-        try:
-            op(device.io)
-        except _TRANSPORT_ERRORS as exc:
-            tripped = device.record_failure(exc, self.breaker_threshold)
-            device.syncs_missed += 1
-            if obs.enabled():
-                obs.REGISTRY.counter(
-                    "controller_breaker_failures_total", device=device.name
-                ).inc()
-                if tripped:
-                    obs.REGISTRY.counter(
-                        "controller_breaker_trips_total", device=device.name
-                    ).inc()
-            return False
-        device.record_success()
-        return True
-
-    def _delta_to_writes(self, binding: TableBinding, delta: ZSet) -> List[TableWrite]:
-        writes = []
+        ops: Dict[int, Optional[List[int]]] = {}
+        changed = set()
         for row, weight in delta.items():
-            entry = self._row_to_entry(binding, row)
+            group, port = int(row[0]), int(row[1])
+            members = self._mcast_members.setdefault(group, set())
             if weight > 0:
-                writes.append(TableWrite.insert(binding.info.name, entry))
+                members.add(port)
             else:
-                writes.append(TableWrite.delete(binding.info.name, entry))
-        return writes
+                members.discard(port)
+            changed.add(group)
+        for group in sorted(changed):
+            members = self._mcast_members.get(group, set())
+            if members:
+                ops[group] = sorted(members)
+            else:
+                ops[group] = None
+                self._mcast_members.pop(group, None)
+        return ops
 
     def _row_to_entry(self, binding: TableBinding, row: tuple) -> TableEntry:
         n_keys = len(binding.key_columns)
@@ -695,42 +831,298 @@ class NerpaController:
             matches, action_name, list(action_value.fields), priority
         )
 
-    def _apply_multicast(self, delta: ZSet) -> None:
-        changed = set()
-        for row, weight in delta.items():
-            group, port = int(row[0]), int(row[1])
-            members = self._mcast_members.setdefault(group, set())
-            if weight > 0:
-                members.add(port)
-            else:
-                members.discard(port)
-            changed.add(group)
-        for group in sorted(changed):
-            members = self._mcast_members.get(group, set())
-            for device in self.devices:
-                if members:
-                    self._breaker_write(
-                        device,
-                        lambda io: io.set_multicast_group(
-                            group, sorted(members)
-                        ),
-                    )
+    # -- stage 3: apply ----------------------------------------------------------
+
+    def _writer_loop(self, writer: _DeviceWriter) -> None:
+        device, queue = writer.device, writer.queue
+        while True:
+            item = queue.pop()
+            if item is None:
+                return
+            self._gauge_depth(device.name, queue)
+            try:
+                if isinstance(item, _WriterTask):
+                    item.run(device)
                 else:
-                    self._breaker_write(
-                        device, lambda io: io.delete_multicast_group(group)
+                    self._apply_device_batch(device, item)
+            except Exception as exc:  # noqa: BLE001 - surfaced at drain()
+                self._defer_error(exc)
+            finally:
+                queue.task_done()
+
+    def _apply_device_batch(
+        self, device: _ManagedDevice, batch: DeviceBatch
+    ) -> None:
+        """Issue one (possibly merged) batch through the breaker.
+
+        Runs on the device's writer thread with no controller-wide
+        lock held — device I/O never blocks the engine or its peers.
+        """
+        started = time.perf_counter()
+        writes = batch.emit_writes()
+        if not writes and not batch.mcast:
+            return
+        if device.quarantined:
+            device.syncs_missed += 1
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "controller_syncs_skipped_total", device=device.name
+                ).inc()
+            return
+        uid = batch.update_id
+        try:
+            if obs.enabled():
+                with obs.TRACER.adopt(batch.parent), use_update_id(
+                    uid
+                ), obs.TRACER.span(
+                    "device.write",
+                    update_id=uid,
+                    device=device.name,
+                    writes=len(writes),
+                    txns=batch.txns,
+                ) as span:
+                    device.io.apply_batch(
+                        writes, batch.mcast, batch.update_ids
                     )
-            if not members:
-                self._mcast_members.pop(group, None)
+                    span.set(applied=True)
+            else:
+                with use_update_id(uid):
+                    device.io.apply_batch(
+                        writes, batch.mcast, batch.update_ids
+                    )
+        except _TRANSPORT_ERRORS as exc:
+            tripped = device.record_failure(exc, self.breaker_threshold)
+            device.syncs_missed += 1
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "controller_breaker_failures_total", device=device.name
+                ).inc()
+                if tripped:
+                    obs.REGISTRY.counter(
+                        "controller_breaker_trips_total", device=device.name
+                    ).inc()
+            return
+        device.record_success()
+        device.writes_issued += 1
+        with self._stats_lock:
+            self.entries_written += len(writes)
+        latency = time.perf_counter() - batch.first_enqueued
+        self.sync_latencies.append(latency)
+        device.latencies.append(latency)
+        self._stage_seconds["apply"].append(time.perf_counter() - started)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _on_mgmt_reconnect(self) -> None:
+        """The management channel came back (possibly to a restarted
+        server).  An engine-thread task re-subscribes and reconciles
+        the fresh snapshot against the engine's input relations: rows
+        that vanished while we were deaf become deletes, new rows
+        become inserts, and the deltas fan out through the normal apply
+        stage.  Running subscribe + diff *on the engine thread* orders
+        the reconcile strictly before any monitor update racing it."""
+        if not self._started:
+            return
+        self._submit_engine(self._reconcile_mgmt, wait=False)
+
+    def _reconcile_mgmt(self) -> None:
+        fresh = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
+        inserts: Dict[str, List[tuple]] = {}
+        deletes: Dict[str, List[tuple]] = {}
+        for table in self._ovsdb_tables:
+            relation = self.bindings.relation_for_ovsdb[table]
+            fresh_rows = set()
+            for uuid, update in fresh.table(table).items():
+                if update.new is not None:
+                    fresh_rows.add(self._row_to_dlog(table, uuid, update.new))
+            current = self.runtime.dump(relation)
+            stale = current - fresh_rows
+            missing = fresh_rows - current
+            if stale:
+                deletes[relation] = list(stale)
+            if missing:
+                inserts[relation] = list(missing)
+        self.mgmt_reconciles += 1
+        if not inserts and not deletes:
+            return
+        result = self.runtime.transaction(inserts=inserts, deletes=deletes)
+        self._fan_out(
+            result,
+            update_ids=[],
+            parent=None,
+            first_enqueued=time.perf_counter(),
+            txns=1,
+        )
+        self.sync_count += 1
+        self.last_result = result
+
+    def _device_reconnect_hook(self, device: _ManagedDevice):
+        def hook() -> None:
+            self.resync_device(device)
+
+        return hook
+
+    def resync_device(self, device) -> None:
+        """Full-sync one device from the engine's output relations.
+
+        ``device`` may be a :class:`_ManagedDevice` or an index into
+        :attr:`devices`.  The engine is authoritative: a consistent
+        snapshot of the desired writes is taken on the engine thread,
+        then a resync task on the device's *own* writer queue performs
+        the read-diff repair — superseding any queued incremental
+        batches, holding no controller-wide lock, and never blocking
+        other devices or the engine.  Clears quarantine on success.
+        """
+        if isinstance(device, int):
+            device = self.devices[device]
+        if not self._started:
+            return
+        writer = next(
+            (w for w in self._writers if w.device is device), None
+        )
+        if writer is None:
+            raise ReproError(f"unknown device {device.name}")
+        desired, mcast = self._submit_engine(
+            lambda: (
+                self._desired_writes(),
+                {
+                    group: sorted(members)
+                    for group, members in self._mcast_members.items()
+                    if members
+                },
+            )
+        )
+        task = _WriterTask(
+            lambda dev: self._run_resync(
+                dev, desired, mcast, recover=True, count=True
+            )
+        )
+        # The full sync subsumes every queued incremental batch.
+        writer.queue.put(
+            task, supersedes=lambda item: isinstance(item, DeviceBatch)
+        )
+        task.event.wait(30.0)
+        if task.error is not None:
+            raise task.error
+
+    def _run_resync(
+        self,
+        device: _ManagedDevice,
+        desired_writes: List[TableWrite],
+        mcast: Dict[int, List[int]],
+        recover: bool,
+        count: bool,
+    ) -> bool:
+        """Writer-thread body of a full device sync (read-diff repair)."""
+        io = device.io
+        io.wait_ready(2.0)
+        fixes = []
+        try:
+            fixes = self._compute_fixes(io, desired_writes)
+            if fixes:
+                io.write(fixes)
+            for group in sorted(mcast):
+                io.set_multicast_group(group, mcast[group])
+        except _TRANSPORT_ERRORS as exc:
+            # Racing a second failure is normal; the next successful
+            # reconnect triggers the resync again.
+            device.record_failure(exc, self.breaker_threshold)
+            return False
+        device.record_success()
+        if fixes:
+            with self._stats_lock:
+                self.entries_written += len(fixes)
+        if recover:
+            device.recover()
+        if count:
+            with self._stats_lock:
+                self.device_resyncs += 1
+        return True
+
+    def _compute_fixes(
+        self, io, desired_writes: List[TableWrite]
+    ) -> List[TableWrite]:
+        """Read-diff one device against the desired entry set."""
+        desired: Dict[str, Dict[tuple, TableWrite]] = {}
+        for write in desired_writes:
+            if write.kind == "INSERT":
+                desired.setdefault(write.table, {})[
+                    write.entry.match_key()
+                ] = write
+            elif write.kind == "DELETE":
+                desired.get(write.table, {}).pop(write.entry.match_key(), None)
+        fixes: List[TableWrite] = []
+        for binding in self.bindings.table_relations.values():
+            table = binding.info.name
+            want = dict(desired.get(table, {}))
+            for existing in io.read_table(table):
+                key = existing.entry.match_key()
+                wanted = want.pop(key, None)
+                if wanted is None:
+                    fixes.append(TableWrite.delete(table, existing.entry))
+                elif (
+                    wanted.entry.action != existing.entry.action
+                    or wanted.entry.action_params
+                    != existing.entry.action_params
+                ):
+                    fixes.append(TableWrite.modify(table, wanted.entry))
+            fixes.extend(want.values())  # still-missing entries
+        fixes.sort(key=lambda w: 0 if w.kind == "DELETE" else 1)
+        return fixes
+
+    def _desired_writes(self) -> List[TableWrite]:
+        """Replay the engine's current output relations as inserts —
+        the authoritative desired state of every device table.  Engine
+        thread only."""
+        writes: List[TableWrite] = []
+        for relation, binding in self.bindings.table_relations.items():
+            for row in self.runtime.dump(relation):
+                writes.append(
+                    TableWrite.insert(
+                        binding.info.name, self._row_to_entry(binding, row)
+                    )
+                )
+        return writes
+
+    # -- shared plumbing ---------------------------------------------------------
+
+    def _defer_error(self, exc: BaseException) -> None:
+        with self._stats_lock:
+            if len(self._errors) < 64:
+                self._errors.append(exc)
+
+    def _gauge_depth(self, name: str, queue: CoalescingQueue) -> None:
+        if obs.enabled():
+            obs.REGISTRY.gauge("pipeline_queue_depth", queue=name).set(
+                len(queue)
+            )
 
     # -- introspection ---------------------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
         """Per-peer connection state, retry counters, and transitions."""
+        devices = []
+        for i, device in enumerate(self.devices):
+            report = device.health()
+            if i < len(self._writers):
+                report["queue_depth"] = len(self._writers[i].queue)
+            devices.append(report)
         return {
             "mgmt": self.mgmt.health(),
-            "devices": [device.health() for device in self.devices],
+            "devices": devices,
             "mgmt_reconciles": self.mgmt_reconciles,
             "device_resyncs": self.device_resyncs,
+        }
+
+    @staticmethod
+    def _summarize(samples: List[float]) -> Dict[str, float]:
+        data = list(samples)
+        if not data:
+            return {"count": 0, "mean": 0.0, "p95": 0.0}
+        return {
+            "count": len(data),
+            "mean": sum(data) / len(data),
+            "p95": percentile(data, 95),
         }
 
     def metrics(self) -> Dict[str, object]:
@@ -748,6 +1140,31 @@ class NerpaController:
             "sync_latency_p50": percentile(latencies, 50) if latencies else 0.0,
             "sync_latency_p95": percentile(latencies, 95) if latencies else 0.0,
             "engine": self.runtime.profile(),
+            "pipeline": {
+                "engine_queue_depth": (
+                    len(self._engine_queue)
+                    if self._engine_queue is not None
+                    else 0
+                ),
+                "engine_coalesced": (
+                    self._engine_queue.coalesced
+                    if self._engine_queue is not None
+                    else 0
+                ),
+                "device_queue_depths": {
+                    w.device.name: len(w.queue) for w in self._writers
+                },
+                "device_coalesced": {
+                    w.device.name: w.queue.coalesced for w in self._writers
+                },
+                "device_writes_issued": {
+                    d.name: d.writes_issued for d in self.devices
+                },
+                "stage_seconds": {
+                    stage: self._summarize(samples)
+                    for stage, samples in self._stage_seconds.items()
+                },
+            },
         }
         if obs.enabled():
             out["registry"] = obs.REGISTRY.snapshot()

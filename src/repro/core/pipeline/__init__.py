@@ -1,0 +1,31 @@
+"""``repro.core.pipeline``: full-stack build + the staged update path.
+
+Two halves live here:
+
+* :mod:`repro.core.pipeline.build` — ``nerpa_build``: compile the
+  OVSDB schema, dlog rules, and P4 program as one typechecked unit
+  (the original meaning of "pipeline": the P4 dataflow).
+* :mod:`repro.core.pipeline.changeset` / ``queues`` — the staged
+  *update* pipeline the controller runs at runtime: the
+  :class:`Changeset` IR, per-device :class:`DeviceBatch`, and the
+  bounded :class:`CoalescingQueue` connecting ingest, evaluate, and
+  apply stages.
+"""
+
+from repro.core.pipeline.build import (
+    MULTICAST_RELATION,
+    NerpaProject,
+    nerpa_build,
+)
+from repro.core.pipeline.changeset import Changeset, DeviceBatch
+from repro.core.pipeline.queues import CoalescingQueue, PipelineStalledError
+
+__all__ = [
+    "MULTICAST_RELATION",
+    "NerpaProject",
+    "nerpa_build",
+    "Changeset",
+    "DeviceBatch",
+    "CoalescingQueue",
+    "PipelineStalledError",
+]

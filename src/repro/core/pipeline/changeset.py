@@ -1,0 +1,283 @@
+"""The staged pipeline's intermediate representations.
+
+The controller's update path is a three-stage pipeline (see
+``docs/ARCHITECTURE.md``):
+
+1. **ingest** turns monitor deliveries and digest feedback into a
+   :class:`Changeset` — the net row-level effect of one or more
+   management-plane transactions, keyed per row so that bursts
+   coalesce;
+2. **evaluate** (single engine thread) turns a changeset into an
+   engine transaction and fans the output deltas out as one
+   :class:`DeviceBatch` per device;
+3. **apply** (one writer thread per device) merges queued batches and
+   issues them as a single batched P4Runtime write.
+
+Both IRs share the same *coalescing algebra*.  Per key (a row uuid at
+the changeset level, a ``(table, match key)`` pair at the device
+level) the net effect of any op sequence is at most "delete the
+oldest value, insert the newest":
+
+=============================  ==============================
+sequence observed              net effect
+=============================  ==============================
+insert(a)                      insert(a)
+delete(a)                      delete(a)
+delete(a), insert(b)           delete(a) + insert(b)  [modify]
+insert(a), delete(a)           nothing      [cancelled]
+insert(a), delete(a), ins(b)   insert(b)    [last writer wins]
+delete(a), insert(a)           nothing      [round trip]
+=============================  ==============================
+
+Each key's state is a two-slot cell ``[delete_value, insert_value]``;
+:func:`_record_delete` / :func:`_record_insert` implement the
+transitions above and are shared by both IR classes.
+
+**Ordering invariant** (preserved and tested): merging batches never
+reorders engine transactions — a merged batch carries the contiguous
+``seq`` range it covers, and emission always puts deletes before
+inserts so a changed entry (delete + insert under one match key)
+never collides inside the atomic device write.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, List, Optional, Tuple
+
+#: Cap on how many update-ids a coalesced changeset/batch drags along
+#: (trace bookkeeping must not grow without bound under a flood).
+_MAX_UPDATE_IDS = 128
+
+
+def _record_delete(cell: list, value) -> None:
+    """Fold ``delete(value)`` into a two-slot ``[delete, insert]`` cell."""
+    if cell[1] is not None:
+        cell[1] = None  # cancels the pending insert
+    elif cell[0] is None:
+        cell[0] = value  # first delete pins the oldest value
+    # else: delete after delete for one key cannot happen in a
+    # well-formed stream; keeping the oldest value is still correct.
+
+
+def _record_insert(cell: list, value) -> None:
+    cell[1] = value  # last writer wins
+
+
+def _merge_update_ids(target: List[str], extra: List[str]) -> None:
+    room = _MAX_UPDATE_IDS - len(target)
+    if room > 0:
+        target.extend(extra[:room])
+
+
+class Changeset:
+    """Stage-1 IR: the net row changes of >= 1 management transactions.
+
+    ``ops`` maps ``relation -> row key -> [delete_row, insert_row]``.
+    The row key is ``(table, uuid)`` for OVSDB-derived rows and the row
+    tuple itself for digest insertions (digests have no uuid).
+    """
+
+    __slots__ = (
+        "source",
+        "ops",
+        "update_ids",
+        "parent",
+        "link",
+        "digest_name",
+        "txns",
+        "digests",
+        "first_enqueued",
+    )
+
+    def __init__(self, source: str = "mgmt"):
+        self.source = source
+        self.ops: Dict[str, Dict[Hashable, list]] = {}
+        self.update_ids: List[str] = []
+        #: The span (e.g. ``mgmt.transact``) the evaluation should nest
+        #: under — carried across the thread hop, adopted by stage 2.
+        self.parent = None
+        #: For digest changesets: update-id of the config change whose
+        #: entries produced the digest (the device's config epoch).
+        self.link: Optional[str] = None
+        self.digest_name: Optional[str] = None
+        self.txns = 0
+        self.digests = 0
+        self.first_enqueued = time.perf_counter()
+
+    def record_insert(self, relation: str, key: Hashable, row: tuple) -> None:
+        cell = self.ops.setdefault(relation, {}).setdefault(key, [None, None])
+        _record_insert(cell, row)
+
+    def record_delete(self, relation: str, key: Hashable, row: tuple) -> None:
+        cell = self.ops.setdefault(relation, {}).setdefault(key, [None, None])
+        _record_delete(cell, row)
+
+    @property
+    def update_id(self) -> Optional[str]:
+        """The newest merged update-id (names the coalesced sync)."""
+        return self.update_ids[-1] if self.update_ids else None
+
+    def row_count(self) -> int:
+        return sum(len(keys) for keys in self.ops.values())
+
+    def is_empty(self) -> bool:
+        return all(
+            cell[0] is None and cell[1] is None
+            for keys in self.ops.values()
+            for cell in keys.values()
+        )
+
+    def to_transaction(self) -> Tuple[Dict[str, list], Dict[str, list]]:
+        """Net ``(inserts, deletes)`` for one engine transaction.
+
+        A key whose delete and insert carry the same row is a round
+        trip and is dropped entirely.
+        """
+        inserts: Dict[str, list] = {}
+        deletes: Dict[str, list] = {}
+        for relation, keys in self.ops.items():
+            for cell in keys.values():
+                dead, live = cell
+                if dead is not None and dead == live:
+                    continue
+                if dead is not None:
+                    deletes.setdefault(relation, []).append(dead)
+                if live is not None:
+                    inserts.setdefault(relation, []).append(live)
+        return inserts, deletes
+
+    def coalesce(self, other: "Changeset") -> bool:
+        """Fold a newer changeset into this one (queue-tail merge).
+
+        Only changesets from the same source merge — mixing digest
+        feedback into a management changeset would blur the digest
+        trace-link bookkeeping.
+        """
+        if not isinstance(other, Changeset) or other.source != self.source:
+            return False
+        for relation, keys in other.ops.items():
+            for key, (dead, live) in keys.items():
+                if dead is not None:
+                    self.record_delete(relation, key, dead)
+                if live is not None:
+                    self.record_insert(relation, key, live)
+        _merge_update_ids(self.update_ids, other.update_ids)
+        if other.parent is not None:
+            self.parent = other.parent
+        if other.link is not None:
+            self.link = other.link
+        if other.digest_name is not None:
+            self.digest_name = other.digest_name
+        self.txns += other.txns
+        self.digests += other.digests
+        return True
+
+
+class DeviceBatch:
+    """Stage-3 IR: the net table writes of >= 1 engine transactions.
+
+    ``ops`` maps ``(table, match_key) -> [delete_entry, insert_entry]``
+    (:class:`~repro.p4.tables.TableEntry` values); ``mcast`` maps
+    ``group -> port list`` (``None`` = delete the group), last writer
+    wins.  ``seq``/``last_seq`` are the engine-transaction range the
+    batch covers — merge only ever extends it forward, which is what
+    keeps per-device application in engine-transaction order.
+    """
+
+    __slots__ = (
+        "seq",
+        "last_seq",
+        "ops",
+        "mcast",
+        "update_ids",
+        "parent",
+        "txns",
+        "first_enqueued",
+    )
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.last_seq = seq
+        self.ops: Dict[Tuple[str, tuple], list] = {}
+        self.mcast: Dict[int, Optional[List[int]]] = {}
+        self.update_ids: List[str] = []
+        self.parent = None
+        self.txns = 1
+        self.first_enqueued = time.perf_counter()
+
+    def record_insert(self, table: str, match_key: tuple, entry) -> None:
+        cell = self.ops.setdefault((table, match_key), [None, None])
+        _record_insert(cell, entry)
+
+    def record_delete(self, table: str, match_key: tuple, entry) -> None:
+        cell = self.ops.setdefault((table, match_key), [None, None])
+        _record_delete(cell, entry)
+
+    @property
+    def update_id(self) -> Optional[str]:
+        return self.update_ids[-1] if self.update_ids else None
+
+    def copy_for_device(self) -> "DeviceBatch":
+        """Per-device instance of an evaluation's fan-out template
+        (merging mutates, so queues must not share one object)."""
+        clone = DeviceBatch(self.seq)
+        clone.last_seq = self.last_seq
+        clone.ops = {key: cell[:] for key, cell in self.ops.items()}
+        clone.mcast = dict(self.mcast)
+        clone.update_ids = list(self.update_ids)
+        clone.parent = self.parent
+        clone.txns = self.txns
+        clone.first_enqueued = self.first_enqueued
+        return clone
+
+    def emit_writes(self) -> list:
+        """The batch as one write list: deletes first, then inserts.
+
+        An entry deleted and re-inserted unchanged (same action,
+        params, and priority) is a round trip and is dropped.
+        """
+        from repro.p4runtime.api import TableWrite
+
+        deletes = []
+        inserts = []
+        for (table, _), (dead, live) in self.ops.items():
+            if (
+                dead is not None
+                and live is not None
+                and dead.action == live.action
+                and list(dead.action_params) == list(live.action_params)
+                and dead.priority == live.priority
+            ):
+                continue
+            if dead is not None:
+                deletes.append(TableWrite.delete(table, dead))
+            if live is not None:
+                inserts.append(TableWrite.insert(table, live))
+        return deletes + inserts
+
+    def is_empty(self) -> bool:
+        return not self.mcast and all(
+            cell[0] is None and cell[1] is None for cell in self.ops.values()
+        )
+
+    def coalesce(self, other: "DeviceBatch") -> bool:
+        """Fold a strictly newer batch in, so the merged batch covers
+        a forward, in-order span of engine transactions (gaps are
+        transactions that produced no writes for this device)."""
+        if not isinstance(other, DeviceBatch):
+            return False
+        if other.seq <= self.last_seq:
+            return False
+        for (table, match_key), (dead, live) in other.ops.items():
+            if dead is not None:
+                self.record_delete(table, match_key, dead)
+            if live is not None:
+                self.record_insert(table, match_key, live)
+        self.mcast.update(other.mcast)
+        _merge_update_ids(self.update_ids, other.update_ids)
+        if other.parent is not None:
+            self.parent = other.parent
+        self.last_seq = other.last_seq
+        self.txns += other.txns
+        return True

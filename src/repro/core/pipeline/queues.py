@@ -1,0 +1,150 @@
+"""Bounded coalescing queues connecting the pipeline stages.
+
+A :class:`CoalescingQueue` is a FIFO with three twists:
+
+* **tail coalescing** — if the newest queued item can absorb an
+  incoming one (``tail.coalesce(item)`` returns True), the put merges
+  instead of appending.  While a consumer is busy, every burst
+  collapses into the single pending tail item, which is where the
+  pipeline's batching win comes from: a slow device accumulates *one*
+  merged batch, not an unbounded backlog.
+* **bounded with backpressure** — non-mergeable items block the
+  producer once ``maxlen`` distinct items are pending (coalescible
+  traffic effectively never fills the queue, so in practice only a
+  flood of control items can push back).
+* **join accounting** — ``queue.Queue``-style ``task_done``/``join``
+  so :meth:`NerpaController.drain` can wait for quiescence stage by
+  stage.
+
+Control items (engine tasks, device resyncs) simply return ``False``
+from ``coalesce`` and act as barriers: later write batches never merge
+across them, preserving order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.errors import ReproError
+
+
+class PipelineStalledError(ReproError):
+    """A drain deadline expired with work still in flight."""
+
+
+class CoalescingQueue:
+    """Bounded FIFO with tail coalescing and join accounting."""
+
+    def __init__(self, name: str = "queue", maxlen: int = 512, merge: bool = True):
+        self.name = name
+        self.maxlen = maxlen
+        #: ``merge=False`` turns tail coalescing off (every put appends)
+        #: — the unbatched baseline for the pipeline benchmark.
+        self.merge = merge
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._all_done = threading.Condition(self._lock)
+        self._unfinished = 0
+        self._closed = False
+        #: Number of puts absorbed by a queued tail item (coalescing
+        #: effectiveness; surfaced through controller metrics).
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def unfinished(self) -> int:
+        return self._unfinished
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item, supersedes: Optional[Callable] = None) -> None:
+        """Enqueue ``item``, merging into the tail when possible.
+
+        ``supersedes`` (a predicate over queued items) drops every
+        pending item it matches before enqueueing — used by resync
+        tasks, whose full-sync subsumes any queued incremental batches.
+        Blocks while the queue holds ``maxlen`` distinct items; puts on
+        a closed queue are dropped (shutdown is best-effort).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if supersedes is not None:
+                kept = deque()
+                for queued in self._items:
+                    if supersedes(queued):
+                        self._unfinished -= 1
+                    else:
+                        kept.append(queued)
+                self._items = kept
+            if self.merge and self._items:
+                tail = self._items[-1]
+                fold = getattr(tail, "coalesce", None)
+                if fold is not None and fold(item):
+                    self.coalesced += 1
+                    return
+            while len(self._items) >= self.maxlen and not self._closed:
+                self._not_full.wait()
+            if self._closed:
+                return
+            self._items.append(item)
+            self._unfinished += 1
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None):
+        """Dequeue the head; blocks. Returns ``None`` once the queue is
+        closed and empty (or on timeout)."""
+        with self._lock:
+            while not self._items and not self._closed:
+                if not self._not_empty.wait(timeout):
+                    return None
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def task_done(self) -> None:
+        with self._lock:
+            self._unfinished -= 1
+            if self._unfinished <= 0:
+                self._all_done.notify_all()
+
+    def join(self, deadline: float) -> None:
+        """Wait until every item ever put has been processed.
+
+        ``deadline`` is an absolute ``time.monotonic`` instant; raises
+        :class:`PipelineStalledError` when it passes first.
+        """
+        with self._lock:
+            while self._unfinished > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise PipelineStalledError(
+                        f"pipeline queue {self.name!r} did not drain "
+                        f"({self._unfinished} item(s) in flight)"
+                    )
+                self._all_done.wait(remaining)
+
+    def close(self) -> None:
+        """Wake all waiters; pending items are abandoned."""
+        with self._lock:
+            self._closed = True
+            self._items.clear()
+            self._unfinished = 0
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            self._all_done.notify_all()
+
+    def snapshot(self) -> List[object]:
+        with self._lock:
+            return list(self._items)

@@ -338,7 +338,12 @@ class Planner:
             tuple(evaluator.eval(e, env) for e in head_exprs) for env in envs
         ]
 
-    def _match_row_fn(self, args: Sequence[A.Pattern], out_vars: Sequence[str], schema_vars: Sequence[str]):
+    def _match_row_fn(
+        self,
+        args: Sequence[A.Pattern],
+        out_vars: Sequence[str],
+        schema_vars: Sequence[str],
+    ):
         """Build fn(base_env_pairs, row) used by first-atom and join merges."""
         evaluator = self.evaluator
         args = tuple(args)

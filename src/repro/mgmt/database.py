@@ -89,6 +89,13 @@ class Database:
         self._monitors: List[Monitor] = []
         self._uuid_factory = uuid_factory or (lambda: uuidlib.uuid4().hex)
         self._lock = threading.RLock()
+        # Hands monitor deliveries off in commit order: acquired while
+        # the commit still holds ``_lock``, released only after
+        # ``_notify`` returns.  Without it two concurrent transactions
+        # could notify out of commit order — fatal for consumers (the
+        # controller's coalescing pipeline) that fold the stream into
+        # net row effects.  RLock so a callback may itself transact.
+        self._notify_lock = threading.RLock()
         self.txn_counter = 0
 
     # -- reads ---------------------------------------------------------------
@@ -127,7 +134,11 @@ class Database:
                 results = execute_operations(self, staged, operations)
                 self._check_constraints(staged)
                 updates = self._commit(staged)
-            self._notify(updates)
+                self._notify_lock.acquire()
+            try:
+                self._notify(updates)
+            finally:
+                self._notify_lock.release()
             return results
 
         # Mint the update-id that names this config change end-to-end;
@@ -142,9 +153,13 @@ class Database:
                 results = execute_operations(self, staged, operations)
                 self._check_constraints(staged)
                 updates = self._commit(staged)
-            span.set(changed_rows=sum(len(rows) for _, rows in updates))
-            with obs.use_update_id(uid):
-                self._notify(updates)
+                self._notify_lock.acquire()
+            try:
+                span.set(changed_rows=sum(len(rows) for _, rows in updates))
+                with obs.use_update_id(uid):
+                    self._notify(updates)
+            finally:
+                self._notify_lock.release()
         obs.REGISTRY.counter("mgmt_txns_total").inc()
         return results
 

@@ -129,6 +129,18 @@ class ResilientConnection:
     def state(self) -> str:
         return self._state
 
+    @property
+    def connected(self) -> bool:
+        return self._state == CONNECTED
+
+    def wait_connected(self, timeout: Optional[float] = None) -> bool:
+        """Block until the transport is usable (or ``timeout`` passes).
+
+        Lets backpressure-aware producers (the controller's per-device
+        writer threads) park on a reconnecting transport instead of
+        burning a full call timeout per queued batch."""
+        return self._connected_event.wait(timeout)
+
     def _set_state(self, state: str) -> None:
         if state != self._state:
             self._state = state

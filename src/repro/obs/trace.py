@@ -178,6 +178,32 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _AdoptScope:
+    """Make a span opened on another thread the current parent here.
+
+    The staged pipeline hops threads between stages (transact thread →
+    engine thread → device writer threads); contextvars don't follow,
+    so each stage re-adopts the span its work should nest under.  The
+    adopted span is *not* re-recorded on exit — it was (or will be)
+    recorded by the thread that opened it.  ``adopt(None)`` explicitly
+    clears any inherited parent.
+    """
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Optional[Span]:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._current.reset(self._token)
+        return False
+
+
 class Tracer:
     """Bounded ring buffer of finished spans."""
 
@@ -196,6 +222,11 @@ class Tracer:
     def active(self) -> Optional[Span]:
         """The span currently open on this context, if any."""
         return self._current.get()
+
+    def adopt(self, span: Optional[Span]) -> _AdoptScope:
+        """Context manager parenting subsequent spans under ``span``
+        (opened on another thread) without re-recording it."""
+        return _AdoptScope(self, span)
 
     def _record(self, span: Span) -> None:
         # deque.append is atomic under the GIL — the recording hot path

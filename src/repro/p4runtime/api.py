@@ -142,6 +142,30 @@ class DeviceService:
             return self._traced_write(updates, uid)
         return self._apply_batch(updates)
 
+    def apply_batch(
+        self,
+        updates: Sequence[TableWrite],
+        mcast: Optional[dict] = None,
+    ) -> int:
+        """One round trip for a coalesced pipeline batch: multicast
+        group config (``group -> ports``, ``None`` deletes the group)
+        plus an atomic table-write batch.
+
+        Multicast config is applied first (so a flood entry never
+        references a group that does not exist yet) and is idempotent;
+        only the table writes carry rollback semantics.
+        """
+        if mcast:
+            for group_id in sorted(mcast):
+                ports = mcast[group_id]
+                if ports:
+                    self.sim.set_multicast_group(group_id, list(ports))
+                else:
+                    self.sim.delete_multicast_group(group_id)
+        if not updates:
+            return 0
+        return self.write(updates)
+
     def _traced_write(self, updates: Sequence[TableWrite], uid) -> int:
         with obs.TRACER.span(
             "device.apply",

@@ -119,6 +119,34 @@ class P4RuntimeClient:
             result = self.call("write", wires)
         return result["applied"]
 
+    def apply_batch(
+        self,
+        updates: Sequence[TableWrite],
+        mcast: Optional[Dict[int, Optional[List[int]]]] = None,
+        update_ids: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Ship a coalesced pipeline batch — table writes plus
+        multicast config plus every merged update-id — in one round
+        trip, instead of one ``write`` per engine transaction and one
+        call per multicast group."""
+        envelope = {
+            "updates": [u.to_wire() for u in updates],
+            "mcast": [
+                [group, list(ports) if ports is not None else None]
+                for group, ports in sorted((mcast or {}).items())
+            ],
+            "update_ids": list(update_ids or ()),
+        }
+        result = self.call("apply_batch", [envelope])
+        return result["applied"]
+
+    @property
+    def connected(self) -> bool:
+        """True while the transport is usable (no reconnect pending)."""
+        from repro.net.resilient import CONNECTED
+
+        return self.conn.state == CONNECTED
+
     def read_table(self, table: str) -> List[TableWrite]:
         result = self.call("read_table", [table], retryable=True)
         return [TableWrite.from_wire(e) for e in result["entries"]]

@@ -5,6 +5,9 @@ Methods:
 * ``echo [...]`` — returns its params (keepalive/heartbeat);
 * ``get_p4info []``
 * ``write [update, ...]`` — atomic batch of table writes;
+* ``apply_batch [{"updates", "mcast", "update_ids"}]`` — one
+  coalesced pipeline batch: multicast config plus an atomic write
+  batch, carrying every merged transaction's update-id;
 * ``read_table [table]``
 * ``set_default_action [table, action, params]``
 * ``set_multicast_group [group_id, ports]`` / ``delete_multicast_group``
@@ -119,6 +122,22 @@ class _Connection:
                 return {"applied": service.write(updates)}
             updates = [TableWrite.from_wire(u) for u in params]
             return {"applied": service.write(updates)}
+        if method == "apply_batch":
+            # One coalesced pipeline batch: multicast config + atomic
+            # table writes + the update-ids of every merged
+            # transaction (the newest becomes the config epoch).
+            (envelope,) = params
+            updates = [TableWrite.from_wire(u) for u in envelope["updates"]]
+            mcast = {
+                int(group): ports
+                for group, ports in envelope.get("mcast", [])
+            }
+            update_ids = envelope.get("update_ids") or []
+            uid = update_ids[-1] if update_ids else None
+            if uid is not None:
+                with use_update_id(uid):
+                    return {"applied": service.apply_batch(updates, mcast)}
+            return {"applied": service.apply_batch(updates, mcast)}
         if method == "read_table":
             (table,) = params
             return {

@@ -4,7 +4,6 @@ the benchmark comparisons to mean anything)."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -47,17 +46,17 @@ class TestReachabilityBaselines:
                     incremental.add_edge(a, b)
                     engine.transaction(inserts={"Edge": [(a, b)]})
             else:
-                n, l = payload
-                if (n, l) in givens:
-                    givens.discard((n, l))
-                    naive.remove_given(n, l)
-                    incremental.remove_given(n, l)
-                    engine.transaction(deletes={"GivenLabel": [(n, l)]})
+                n, lab = payload
+                if (n, lab) in givens:
+                    givens.discard((n, lab))
+                    naive.remove_given(n, lab)
+                    incremental.remove_given(n, lab)
+                    engine.transaction(deletes={"GivenLabel": [(n, lab)]})
                 else:
-                    givens.add((n, l))
-                    naive.add_given(n, l)
-                    incremental.add_given(n, l)
-                    engine.transaction(inserts={"GivenLabel": [(n, l)]})
+                    givens.add((n, lab))
+                    naive.add_given(n, lab)
+                    incremental.add_given(n, lab)
+                    engine.transaction(inserts={"GivenLabel": [(n, lab)]})
             assert incremental.labels == naive.labels
             assert engine.dump("Label") == naive.labels
 

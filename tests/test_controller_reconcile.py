@@ -139,4 +139,5 @@ class TestReconcile:
         controller = NerpaController(project, db2, [switch])
         controller.start(reconcile=True)
         add_port(db2, 2, 6)  # post-restart change flows normally
+        controller.drain()
         assert switch.table("patch").lookup([2]) == ("forward", (6,), True)

@@ -8,7 +8,6 @@ differential-testing setup that guards both.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -143,10 +142,12 @@ class TestMultiDevice:
                          "vlan_mode": "access", "tag": 7}},
             ]
         )
+        controller.drain()
         for switch in switches:
             assert len(switch.table("in_vlan")) == 1
             assert switch.multicast_groups[7] == [0]
         db.transact([{"op": "delete", "table": "Port", "where": []}])
+        controller.drain()
         for switch in switches:
             assert len(switch.table("in_vlan")) == 0
         controller.stop()
@@ -176,6 +177,7 @@ class TestPersistedRestart:
                          "vlan_mode": "access", "tag": 5}},
             ]
         )
+        controller.drain()
         entries_before = len(switch.table("in_vlan"))
         controller.stop()
         persister.snapshot()

@@ -1,7 +1,5 @@
 """Additional aggregate and collection-handling engine tests."""
 
-import pytest
-
 from repro.dlog import compile_program
 from repro.dlog.values import MapValue
 

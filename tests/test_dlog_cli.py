@@ -3,8 +3,6 @@
 import io
 import sys
 
-import pytest
-
 from repro.dlog import compile_program
 from repro.dlog.__main__ import main
 

@@ -96,10 +96,10 @@ class TestDistinct:
 def _join_reference(left, right):
     """Non-incremental reference join on first tuple element."""
     out = ZSet()
-    for l, lw in left.items():
-        for r, rw in right.items():
-            if l[0] == r[0]:
-                out.add((l, r), lw * rw)
+    for lrow, lw in left.items():
+        for rrow, rw in right.items():
+            if lrow[0] == rrow[0]:
+                out.add((lrow, rrow), lw * rw)
     return out
 
 
@@ -112,9 +112,9 @@ small_zsets = st.lists(
 class TestJoin:
     def _node(self):
         return JoinNode(
-            left_key=lambda l: l[0],
-            right_key=lambda r: r[0],
-            merge=lambda l, r: (l, r),
+            left_key=lambda row: row[0],
+            right_key=lambda row: row[0],
+            merge=lambda a, b: (a, b),
         )
 
     def test_simple_join(self):
@@ -141,9 +141,9 @@ class TestJoin:
 
     def test_merge_returning_none_drops_pair(self):
         node = JoinNode(
-            left_key=lambda l: l[0],
-            right_key=lambda r: r[0],
-            merge=lambda l, r: None if r[1] == "skip" else (l, r),
+            left_key=lambda row: row[0],
+            right_key=lambda row: row[0],
+            merge=lambda a, b: None if b[1] == "skip" else (a, b),
         )
         out = node.process([z(((1, "l"), 1)), z(((1, "skip"), 1), ((1, "ok"), 1))])
         assert out == z((((1, "l"), (1, "ok")), 1))
@@ -163,7 +163,7 @@ class TestJoin:
 
 class TestAntiJoin:
     def _node(self):
-        return AntiJoinNode(left_key=lambda l: l[0])
+        return AntiJoinNode(left_key=lambda row: row[0])
 
     def test_passes_when_right_absent(self):
         node = self._node()

@@ -256,10 +256,18 @@ class TestDevicePlaneRestart:
 
             server.stop()
             # Churn continues; writes to the dead device fail, trip the
-            # breaker, and are skipped — the sync loop never stalls.
-            for event in events[half : half + 10]:
+            # breaker, and are skipped — ingest never stalls.  Pace the
+            # events so each becomes its own failed round trip (a burst
+            # would coalesce into one batch = one breaker strike).
+            device_state = controller.devices[0]
+            for n, event in enumerate(events[half : half + 10], start=1):
                 apply_event(db.transact, event)
-            assert controller.devices[0].quarantined
+                wait_for(
+                    lambda: device_state.quarantined
+                    or device_state.syncs_missed >= n,
+                    what="write attempt to resolve",
+                )
+            assert device_state.quarantined
 
             server = P4RuntimeServer(sim, port=port).start()
             wait_for(
@@ -305,7 +313,10 @@ class TestDevicePlaneRestart:
                 db.transact,
                 next(iter(robotron_churn(N_PORTS, N_VLANS, 1, seed=7))),
             )
-            assert controller.devices[0].quarantined
+            wait_for(
+                lambda: controller.devices[0].quarantined,
+                what="quarantine at threshold 1",
+            )
             server = P4RuntimeServer(sim, port=port).start()
             wait_for(
                 lambda: not controller.devices[0].quarantined,
@@ -343,6 +354,7 @@ class TestQuarantineIsolation:
         controller.start()
         try:
             seed_model(db.transact)
+            controller.drain()
             assert len(healthy_sim.table("patch")) == N_PORTS
             assert len(flaky_sim.table("patch")) == N_PORTS
 
@@ -351,12 +363,20 @@ class TestQuarantineIsolation:
             started = time.time()
             for event in events[:10]:
                 apply_event(db.transact, event)
-            # The dead device cost at most one call timeout before the
-            # breaker opened; the healthy device kept in lockstep.
+            # Ingest never blocks on the dead device — the transact
+            # loop returns promptly while the flaky device's own writer
+            # burns its call timeout in isolation.
             assert time.time() - started < 10 * FAST.call_timeout
-            assert controller.devices[1].quarantined
+            wait_for(
+                lambda: controller.devices[1].quarantined,
+                what="flaky device quarantine",
+            )
             assert not controller.devices[0].quarantined
-            assert len(healthy_sim.table("patch")) == db.count("PortCfg")
+            wait_for(
+                lambda: len(healthy_sim.table("patch"))
+                == db.count("PortCfg"),
+                what="healthy device to stay in lockstep",
+            )
 
             server = P4RuntimeServer(flaky_sim, port=port).start()
             wait_for(

@@ -78,39 +78,41 @@ def stack():
     return db, switch, controller
 
 
-def add_iface(db, port, qos=None, flags=(), external_ids=None):
+def add_iface(stack, port, qos=None, flags=(), external_ids=None):
+    db, _, controller = stack
     row = {"port": port, "flags": frozenset(flags)}
     if qos is not None:
         row["qos"] = qos
     if external_ids:
         row["external_ids"] = external_ids
     db.transact([{"op": "insert", "table": "Iface", "row": row}])
+    controller.drain()
 
 
 class TestRichTypesEndToEnd:
     def test_optional_absent_uses_default(self, stack):
-        db, switch, _ = stack
-        add_iface(db, 1)
+        db, switch, controller = stack
+        add_iface(stack, 1)
         assert switch.table("qos").lookup([1]) == ("set_qos", (1,), True)
 
     def test_optional_present(self, stack):
-        db, switch, _ = stack
-        add_iface(db, 2, qos=4)
+        db, switch, controller = stack
+        add_iface(stack, 2, qos=4)
         assert switch.table("qos").lookup([2])[1] == (4,)
 
     def test_set_membership_drives_rule(self, stack):
-        db, switch, _ = stack
-        add_iface(db, 3, qos=2, flags=["gold", "other"])
+        db, switch, controller = stack
+        add_iface(stack, 3, qos=2, flags=["gold", "other"])
         assert switch.table("qos").lookup([3])[1] == (7,)
 
     def test_map_override_wins(self, stack):
-        db, switch, _ = stack
-        add_iface(db, 4, qos=2, external_ids={"qos-override": "5"})
+        db, switch, controller = stack
+        add_iface(stack, 4, qos=2, external_ids={"qos-override": "5"})
         assert switch.table("qos").lookup([4])[1] == (5,)
 
     def test_mutating_set_updates_entry(self, stack):
-        db, switch, _ = stack
-        add_iface(db, 5, qos=2)
+        db, switch, controller = stack
+        add_iface(stack, 5, qos=2)
         assert switch.table("qos").lookup([5])[1] == (2,)
         db.transact(
             [
@@ -122,11 +124,12 @@ class TestRichTypesEndToEnd:
                 }
             ]
         )
+        controller.drain()
         assert switch.table("qos").lookup([5])[1] == (7,)
 
     def test_clearing_optional_reverts_to_default(self, stack):
-        db, switch, _ = stack
-        add_iface(db, 6, qos=4)
+        db, switch, controller = stack
+        add_iface(stack, 6, qos=4)
         db.transact(
             [
                 {
@@ -137,4 +140,5 @@ class TestRichTypesEndToEnd:
                 }
             ]
         )
+        controller.drain()
         assert switch.table("qos").lookup([6])[1] == (1,)

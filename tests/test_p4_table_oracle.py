@@ -5,7 +5,6 @@ for lpm, priority lists for ternary) must agree with the obvious
 O(entries) reference on random tables and random probes.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

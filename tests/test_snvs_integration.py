@@ -166,6 +166,7 @@ class TestAclAndMirror:
         net.db.transact(
             [{"op": "delete", "table": "BlockedMac", "where": []}]
         )
+        net.controller.drain()
         assert len(net.send(0, B, A)) == 3
 
     def test_mirror_copies_traffic(self, net):
@@ -178,6 +179,7 @@ class TestAclAndMirror:
     def test_mirror_removal(self, net):
         net.add_mirror(src_port=0, dst_port=7)
         net.db.transact([{"op": "delete", "table": "Mirror", "where": []}])
+        net.controller.drain()
         outputs = net.send(0, B, A)
         assert sorted(p for p, _ in outputs) == [1, 2, 3]
 
