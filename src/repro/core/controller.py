@@ -79,6 +79,18 @@ from repro.p4runtime.api import DeviceService, TableWrite
 #: a flaky peer.
 _TRANSPORT_ERRORS = (ProtocolError, OSError)
 
+#: Samples retained per latency/stage-timing series — bounded so a
+#: long-running controller's metrics bookkeeping cannot grow without
+#: limit.
+_STATS_WINDOW = 8192
+
+
+def _append_sample(samples: List[float], value: float) -> None:
+    """Append to a bounded sample list (caller holds ``_stats_lock``)."""
+    samples.append(value)
+    if len(samples) > _STATS_WINDOW:
+        del samples[: len(samples) - _STATS_WINDOW]
+
 
 class _LocalMgmt:
     def __init__(self, db: Database):
@@ -476,7 +488,10 @@ class NerpaController:
                 writer.queue.put(task)
                 tasks.append(task)
             for task in tasks:
-                task.event.wait(30.0)
+                if not task.event.wait(30.0):
+                    raise ReproError("reconciling device sync timed out")
+                if task.error is not None:
+                    raise task.error
         else:
             self._submit_engine(self._push_initial, wait=False)
             initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
@@ -606,7 +621,10 @@ class NerpaController:
                 self._enqueue(changeset)
         else:
             self._enqueue(changeset)
-        self._stage_seconds["ingest"].append(time.perf_counter() - started)
+        with self._stats_lock:
+            _append_sample(
+                self._stage_seconds["ingest"], time.perf_counter() - started
+            )
 
     def _on_digest(self, name: str, values: Tuple[int, ...]) -> None:
         """Data-plane feedback → digest changeset → engine queue."""
@@ -735,7 +753,10 @@ class NerpaController:
         else:
             self.sync_count += 1
             self.last_result = result
-        self._stage_seconds["evaluate"].append(time.perf_counter() - started)
+        with self._stats_lock:
+            _append_sample(
+                self._stage_seconds["evaluate"], time.perf_counter() - started
+            )
 
     def _fan_out(
         self,
@@ -904,12 +925,13 @@ class NerpaController:
             return
         device.record_success()
         device.writes_issued += 1
+        applied = time.perf_counter()
+        latency = applied - batch.first_enqueued
         with self._stats_lock:
             self.entries_written += len(writes)
-        latency = time.perf_counter() - batch.first_enqueued
-        self.sync_latencies.append(latency)
-        device.latencies.append(latency)
-        self._stage_seconds["apply"].append(time.perf_counter() - started)
+            _append_sample(self.sync_latencies, latency)
+            _append_sample(device.latencies, latency)
+            _append_sample(self._stage_seconds["apply"], applied - started)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -982,26 +1004,32 @@ class NerpaController:
         )
         if writer is None:
             raise ReproError(f"unknown device {device.name}")
-        desired, mcast = self._submit_engine(
-            lambda: (
-                self._desired_writes(),
-                {
-                    group: sorted(members)
-                    for group, members in self._mcast_members.items()
-                    if members
-                },
+        def snapshot_and_enqueue() -> _WriterTask:
+            # Engine thread: fan-out only ever happens here, so taking
+            # the snapshot and superseding the queued batches in one
+            # task is atomic w.r.t. fan-out — no batch can land on the
+            # writer queue after the snapshot yet be dropped by the
+            # supersede without its changes being in the snapshot.
+            desired = self._desired_writes()
+            mcast = {
+                group: sorted(members)
+                for group, members in self._mcast_members.items()
+                if members
+            }
+            task = _WriterTask(
+                lambda dev: self._run_resync(
+                    dev, desired, mcast, recover=True, count=True
+                )
             )
-        )
-        task = _WriterTask(
-            lambda dev: self._run_resync(
-                dev, desired, mcast, recover=True, count=True
+            # The full sync subsumes every queued incremental batch.
+            writer.queue.put(
+                task, supersedes=lambda item: isinstance(item, DeviceBatch)
             )
-        )
-        # The full sync subsumes every queued incremental batch.
-        writer.queue.put(
-            task, supersedes=lambda item: isinstance(item, DeviceBatch)
-        )
-        task.event.wait(30.0)
+            return task
+
+        task = self._submit_engine(snapshot_and_enqueue)
+        if not task.event.wait(30.0):
+            raise ReproError(f"resync of {device.name} timed out")
         if task.error is not None:
             raise task.error
 
@@ -1126,7 +1154,12 @@ class NerpaController:
         }
 
     def metrics(self) -> Dict[str, object]:
-        latencies = self.sync_latencies
+        with self._stats_lock:
+            latencies = list(self.sync_latencies)
+            stage_seconds = {
+                stage: list(samples)
+                for stage, samples in self._stage_seconds.items()
+            }
         out = {
             "syncs": self.sync_count,
             "entries_written": self.entries_written,
@@ -1162,7 +1195,7 @@ class NerpaController:
                 },
                 "stage_seconds": {
                     stage: self._summarize(samples)
-                    for stage, samples in self._stage_seconds.items()
+                    for stage, samples in stage_seconds.items()
                 },
             },
         }

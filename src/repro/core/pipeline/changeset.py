@@ -65,9 +65,12 @@ def _record_insert(cell: list, value) -> None:
 
 
 def _merge_update_ids(target: List[str], extra: List[str]) -> None:
-    room = _MAX_UPDATE_IDS - len(target)
-    if room > 0:
-        target.extend(extra[:room])
+    """Append ``extra``, evicting the *oldest* ids past the cap —
+    ``update_ids[-1]`` must always be the newest merged id (it names
+    the coalesced sync and stamps the device's config epoch)."""
+    target.extend(extra)
+    if len(target) > _MAX_UPDATE_IDS:
+        del target[: len(target) - _MAX_UPDATE_IDS]
 
 
 class Changeset:

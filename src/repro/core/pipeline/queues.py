@@ -85,7 +85,12 @@ class CoalescingQueue:
                         self._unfinished -= 1
                     else:
                         kept.append(queued)
-                self._items = kept
+                if len(kept) < len(self._items):
+                    self._items = kept
+                    # Freed space: wake producers blocked on a full
+                    # queue (they would otherwise sleep until the
+                    # consumer's next pop).
+                    self._not_full.notify_all()
             if self.merge and self._items:
                 tail = self._items[-1]
                 fold = getattr(tail, "coalesce", None)
