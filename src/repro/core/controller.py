@@ -53,8 +53,11 @@ device's ``latencies``.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
+import uuid
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
@@ -64,6 +67,7 @@ from repro.core.pipeline import MULTICAST_RELATION, NerpaProject
 from repro.core.pipeline.changeset import Changeset, DeviceBatch
 from repro.core.pipeline.queues import CoalescingQueue
 from repro.core.typebridge import dlog_value_to_match, ovsdb_value_to_dlog
+from repro.dlog import checkpoint as ckpt
 from repro.dlog.values import StructValue
 from repro.errors import ProtocolError, ReproError, TypeCheckError
 from repro.mgmt.database import Database
@@ -165,6 +169,12 @@ class _LocalDevice:
     def delete_multicast_group(self, group_id) -> None:
         self.service.delete_multicast_group(group_id)
 
+    def get_config_epoch(self):
+        return self.service.get_config_epoch()
+
+    def set_config_epoch(self, epoch) -> None:
+        self.service.set_config_epoch(epoch)
+
     def attach_digests(self, callback) -> None:
         sim = self.service.sim
         previous = sim.digest_callback
@@ -220,6 +230,12 @@ class _RemoteDevice:
     def delete_multicast_group(self, group_id) -> None:
         self.client.delete_multicast_group(group_id)
 
+    def get_config_epoch(self):
+        return self.client.get_config_epoch()
+
+    def set_config_epoch(self, epoch) -> None:
+        self.client.set_config_epoch(epoch)
+
     def attach_digests(self, callback) -> None:
         self.client.subscribe_digests(callback)
 
@@ -254,6 +270,10 @@ class _ManagedDevice:
         self.writes_issued = 0
         #: End-to-end latencies (ingest enqueue → applied) per batch.
         self.latencies: List[float] = []
+        #: The update-id of the last batch/resync this controller saw
+        #: applied to the device — the device's config epoch as the
+        #: controller believes it.  Checkpointed for warm restarts.
+        self.config_epoch: Optional[str] = None
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
@@ -380,10 +400,34 @@ class NerpaController:
         devices,
         breaker_threshold: int = 3,
         coalesce: bool = True,
+        state_dir: Optional[str] = None,
     ):
         self.project = project
         self.bindings = project.bindings
-        self.runtime = project.program.start()
+        #: Directory for the controller checkpoint (engine state +
+        #: per-device config epochs), typically beside the mgmt
+        #: ``Persister`` directory.  ``None`` disables checkpointing.
+        self.state_dir = state_dir
+        # Warm-start state: if a compatible checkpoint exists, restore
+        # the engine from it instead of recomputing the fixpoint.  An
+        # unreadable or hash-mismatched checkpoint silently degrades to
+        # a cold start — always correct, just slower.
+        self._warm_state: Optional[dict] = None
+        runtime = None
+        if state_dir is not None:
+            try:
+                data = ckpt.load_checkpoint(self._checkpoint_path())
+            except ckpt.CheckpointError:
+                data = None
+            if data is not None:
+                runtime = project.program.start(
+                    checkpoint=data.get("engine")
+                )
+                if runtime.restored:
+                    self._warm_state = data
+        self.runtime = (
+            runtime if runtime is not None else project.program.start()
+        )
         self.mgmt = _wrap_mgmt(mgmt)
         self.devices = [
             _ManagedDevice(_wrap_device(d), f"device-{i}")
@@ -412,6 +456,22 @@ class NerpaController:
         self._errors: List[BaseException] = []
         self._stats_lock = threading.Lock()
 
+        # Config epochs: every fanned-out batch carries an update-id
+        # stamp; when tracing is off none is minted upstream, so the
+        # fan-out mints one from this process-unique run id (a restarted
+        # controller must never reuse a prior run's ids — epoch equality
+        # means "device state is exactly what I checkpointed").
+        self._run_id = uuid.uuid4().hex[:8]
+        self._epoch_counter = itertools.count(1)
+        if self._warm_state is not None:
+            self._seq = int(self._warm_state.get("seq", 0))
+            self._mcast_members = {
+                int(group): set(members)
+                for group, members in self._warm_state.get(
+                    "mcast", {}
+                ).items()
+            }
+
         # Metrics.
         self.sync_count = 0
         self.sync_latencies: List[float] = []
@@ -420,6 +480,15 @@ class NerpaController:
         self.mgmt_reconciles = 0
         self.device_resyncs = 0
         self.last_result = None
+        #: ``"warm"`` or ``"cold"`` once :meth:`start` has run.
+        self.restart_mode: Optional[str] = None
+        #: Devices whose reported config epoch matched the checkpoint,
+        #: letting the warm start skip their full resync.
+        self.warm_skips = 0
+        #: Wall-clock seconds of the last :meth:`start` call.
+        self.start_seconds = 0.0
+        self.checkpoint_bytes = 0
+        self.checkpoint_seconds = 0.0
         self._stage_seconds: Dict[str, List[float]] = {
             "ingest": [],
             "evaluate": [],
@@ -435,7 +504,9 @@ class NerpaController:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def start(self, reconcile: bool = False) -> "NerpaController":
+    def start(
+        self, reconcile: bool = False, warm: bool = False
+    ) -> "NerpaController":
         """Start the pipeline, subscribe to both ends, sync initial state.
 
         With ``reconcile=True`` the controller assumes it may be
@@ -446,12 +517,29 @@ class NerpaController:
         difference — stale entries are deleted, missing ones inserted,
         already-correct ones left untouched.
 
+        With ``warm=True`` (requires ``state_dir``) the controller
+        restarts from the checkpoint written by :meth:`save_checkpoint`:
+        the engine state is restored without recompute, only the
+        management-DB delta accumulated since the checkpoint runs
+        through the pipeline, and devices whose reported config epoch
+        matches the checkpointed one skip the full read-diff resync.
+        Missing or incompatible checkpoints (and epoch-mismatched
+        devices) fall back to the cold ``reconcile`` path, which is
+        always correct.
+
         Blocks until the initial state is applied; semantic write
         failures (e.g. colliding entries without ``reconcile``) are
         raised here.
         """
         if self._started:
             raise ReproError("controller already started")
+        started_at = time.perf_counter()
+        warm_state = self._warm_state if warm else None
+        self._warm_state = None
+        if warm and warm_state is None:
+            # Asked for warm but there is nothing compatible to restore:
+            # behave like a crash restart against possibly-stale devices.
+            reconcile = True
         self._started = True
         self._engine_queue = CoalescingQueue(
             name="engine", maxlen=1024, merge=self.coalesce
@@ -468,7 +556,19 @@ class NerpaController:
         for device in self.devices:
             device.io.attach_digests(self._on_digest)
             device.io.on_reconnect(self._device_reconnect_hook(device))
-        if reconcile:
+        if warm_state is not None:
+            self.restart_mode = "warm"
+            epochs = dict(warm_state.get("device_epochs", {}))
+            tasks = self._submit_engine(
+                lambda: self._warm_restore(epochs)
+            )
+            for task in tasks:
+                if not task.event.wait(30.0):
+                    raise ReproError("warm device sync timed out")
+                if task.error is not None:
+                    raise task.error
+        elif reconcile:
+            self.restart_mode = "cold"
             # Compute desired state silently (buffer the writes), then
             # read-diff every device in parallel on its own writer.
             self._buffer = []
@@ -478,11 +578,13 @@ class NerpaController:
             self.drain()
             desired = self._buffer or []
             self._buffer = None
+            epoch = self._mint_epoch("reconcile")
             tasks = []
             for writer in self._writers:
                 task = _WriterTask(
                     lambda device, d=desired: self._run_resync(
-                        device, d, {}, recover=False, count=False
+                        device, d, {}, recover=False, count=False,
+                        epoch=epoch,
                     )
                 )
                 writer.queue.put(task)
@@ -493,11 +595,21 @@ class NerpaController:
                 if task.error is not None:
                     raise task.error
         else:
+            self.restart_mode = "cold"
             self._submit_engine(self._push_initial, wait=False)
             initial = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
             self._on_updates(initial)
         self.mgmt.on_reconnect(self._on_mgmt_reconnect)
         self.drain()
+        self.start_seconds = time.perf_counter() - started_at
+        if obs.enabled():
+            obs.REGISTRY.counter(
+                "controller_restart_total", mode=self.restart_mode
+            ).inc()
+            if self.restart_mode == "warm":
+                obs.REGISTRY.histogram(
+                    "controller_warm_start_seconds"
+                ).observe(self.start_seconds)
         return self
 
     def _push_initial(self) -> None:
@@ -567,6 +679,154 @@ class NerpaController:
             self._engine_thread = None
         for writer in self._writers:
             writer.thread.join(timeout=2.0)
+
+    # -- warm-start checkpointing ------------------------------------------------
+
+    def _checkpoint_path(self) -> str:
+        return os.path.join(self.state_dir, "controller.ckpt")
+
+    def save_checkpoint(self) -> str:
+        """Persist the engine state, multicast membership, and per-device
+        config epochs to ``state_dir`` (atomic write, fsynced).
+
+        The engine-owned state is snapshotted via an engine task when
+        the pipeline is running, so it is consistent with respect to
+        fan-out.  Call after :meth:`drain` so the device epochs reflect
+        everything the checkpointed engine state implies.
+        """
+        if self.state_dir is None:
+            raise ReproError("controller has no state_dir to checkpoint to")
+        started = time.perf_counter()
+
+        def snap() -> dict:
+            return {
+                "format": ckpt.CHECKPOINT_FORMAT,
+                "engine": self.runtime.checkpoint(),
+                "mcast": {
+                    group: sorted(members)
+                    for group, members in self._mcast_members.items()
+                    if members
+                },
+                "seq": self._seq,
+            }
+
+        data = self._submit_engine(snap) if self._started else snap()
+        data["device_epochs"] = {
+            device.name: device.config_epoch for device in self.devices
+        }
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = self._checkpoint_path()
+        size = ckpt.save_checkpoint(path, data)
+        self.checkpoint_bytes = size
+        self.checkpoint_seconds = time.perf_counter() - started
+        if obs.enabled():
+            obs.REGISTRY.gauge("controller_checkpoint_bytes").set(size)
+            obs.REGISTRY.gauge("controller_checkpoint_seconds").set(
+                self.checkpoint_seconds
+            )
+        return path
+
+    def _warm_restore(self, epochs: Dict[str, Optional[str]]):
+        """Engine task for a warm start; returns the per-device tasks.
+
+        Order matters: the per-device warm-sync tasks are enqueued
+        *before* the post-checkpoint delta fans out, so each writer's
+        FIFO queue sees (1) the sync decision against exactly the
+        checkpointed state, then (2) the delta batches.  An
+        epoch-matched device therefore skips its resync and simply
+        applies the delta; a mismatched one is repaired to the
+        checkpointed state first and converges the same way.
+        """
+        # (1) Diff the restored engine inputs against the durable
+        # management DB — everything missed while down, computed before
+        # anything is transacted so the desired-writes snapshot below
+        # still equals the checkpointed state.
+        fresh = self.mgmt.subscribe(self._ovsdb_tables, self._on_updates)
+        inserts: Dict[str, List[tuple]] = {}
+        deletes: Dict[str, List[tuple]] = {}
+        for table in self._ovsdb_tables:
+            relation = self.bindings.relation_for_ovsdb[table]
+            fresh_rows = set()
+            for uuid_, update in fresh.table(table).items():
+                if update.new is not None:
+                    fresh_rows.add(
+                        self._row_to_dlog(table, uuid_, update.new)
+                    )
+            current = self.runtime.dump(relation)
+            stale = current - fresh_rows
+            missing = fresh_rows - current
+            if stale:
+                deletes[relation] = list(stale)
+            if missing:
+                inserts[relation] = list(missing)
+        # (2) Enqueue the warm sync decisions.
+        desired = self._desired_writes()
+        mcast = {
+            group: sorted(members)
+            for group, members in self._mcast_members.items()
+            if members
+        }
+        tasks = []
+        for writer in self._writers:
+            expected = epochs.get(writer.device.name)
+            task = _WriterTask(
+                lambda device, e=expected: self._warm_sync(
+                    device, e, desired, mcast
+                )
+            )
+            writer.queue.put(task)
+            tasks.append(task)
+        # (3) Replay the missed delta through the normal pipeline.
+        if inserts or deletes:
+            result = self.runtime.transaction(
+                inserts=inserts, deletes=deletes
+            )
+            self._fan_out(
+                result,
+                update_ids=[],
+                parent=None,
+                first_enqueued=time.perf_counter(),
+                txns=1,
+            )
+            self.sync_count += 1
+            self.last_result = result
+        return tasks
+
+    def _warm_sync(
+        self,
+        device: _ManagedDevice,
+        expected: Optional[str],
+        desired: List[TableWrite],
+        mcast: Dict[int, List[int]],
+    ) -> None:
+        """Writer-thread warm-start decision for one device: skip the
+        full resync when the device's reported config epoch proves its
+        tables already hold the checkpointed desired state."""
+        io = device.io
+        io.wait_ready(2.0)
+        reported: Optional[str] = None
+        try:
+            reported = io.get_config_epoch()
+        except _TRANSPORT_ERRORS:
+            reported = None
+        if expected is not None and reported == expected:
+            device.record_success()
+            device.config_epoch = reported
+            with self._stats_lock:
+                self.warm_skips += 1
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "controller_warm_resync_skips_total", device=device.name
+                ).inc()
+            return
+        self._run_resync(
+            device,
+            desired,
+            mcast,
+            recover=False,
+            count=True,
+            epoch=self._mint_epoch("warmsync"),
+        )
 
     def __enter__(self) -> "NerpaController":
         return self.start()
@@ -770,6 +1030,10 @@ class NerpaController:
         self._seq += 1
         template = DeviceBatch(self._seq)
         template.update_ids = list(update_ids)
+        if not template.update_ids:
+            # With tracing off no update-id was minted upstream, but the
+            # batch still needs a config-epoch stamp for warm restarts.
+            template.update_ids = [self._mint_epoch()]
         template.parent = parent
         template.first_enqueued = first_enqueued
         template.txns = txns
@@ -925,6 +1189,12 @@ class NerpaController:
             return
         device.record_success()
         device.writes_issued += 1
+        if writes:
+            # Mirror the device side exactly: only table writes advance
+            # the on-device epoch (a multicast-only batch never reaches
+            # ``DeviceService.write``), and warm start's skip decision
+            # relies on the two staying equal.
+            device.config_epoch = uid
         applied = time.perf_counter()
         latency = applied - batch.first_enqueued
         with self._stats_lock:
@@ -1016,9 +1286,11 @@ class NerpaController:
                 for group, members in self._mcast_members.items()
                 if members
             }
+            epoch = self._mint_epoch("resync")
             task = _WriterTask(
                 lambda dev: self._run_resync(
-                    dev, desired, mcast, recover=True, count=True
+                    dev, desired, mcast, recover=True, count=True,
+                    epoch=epoch,
                 )
             )
             # The full sync subsumes every queued incremental batch.
@@ -1040,6 +1312,7 @@ class NerpaController:
         mcast: Dict[int, List[int]],
         recover: bool,
         count: bool,
+        epoch: Optional[str] = None,
     ) -> bool:
         """Writer-thread body of a full device sync (read-diff repair)."""
         io = device.io
@@ -1051,12 +1324,19 @@ class NerpaController:
                 io.write(fixes)
             for group in sorted(mcast):
                 io.set_multicast_group(group, mcast[group])
+            if epoch is not None:
+                # A full sync leaves the device holding exactly the
+                # snapshotted desired state; stamp that fact so a later
+                # warm restart can recognize it.
+                io.set_config_epoch(epoch)
         except _TRANSPORT_ERRORS as exc:
             # Racing a second failure is normal; the next successful
             # reconnect triggers the resync again.
             device.record_failure(exc, self.breaker_threshold)
             return False
         device.record_success()
+        if epoch is not None:
+            device.config_epoch = epoch
         if fixes:
             with self._stats_lock:
                 self.entries_written += len(fixes)
@@ -1113,6 +1393,13 @@ class NerpaController:
         return writes
 
     # -- shared plumbing ---------------------------------------------------------
+
+    def _mint_epoch(self, tag: str = "") -> str:
+        """A process-unique config-epoch id.  The run-id prefix keeps a
+        restarted controller from ever reusing a previous run's ids —
+        epoch equality must imply identical device state."""
+        suffix = f"-{tag}" if tag else ""
+        return f"ep-{self._run_id}-{next(self._epoch_counter):08d}{suffix}"
 
     def _defer_error(self, exc: BaseException) -> None:
         with self._stats_lock:
@@ -1172,6 +1459,13 @@ class NerpaController:
             "last_sync_latency": latencies[-1] if latencies else 0.0,
             "sync_latency_p50": percentile(latencies, 50) if latencies else 0.0,
             "sync_latency_p95": percentile(latencies, 95) if latencies else 0.0,
+            "restart": {
+                "mode": self.restart_mode,
+                "warm_skips": self.warm_skips,
+                "start_seconds": self.start_seconds,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_seconds": self.checkpoint_seconds,
+            },
             "engine": self.runtime.profile(),
             "pipeline": {
                 "engine_queue_depth": (

@@ -34,8 +34,16 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro import obs
 from repro.dlog import ast as A
 from repro.dlog import types as T
+from repro.dlog.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    program_hash,
+)
+from repro.dlog.dataflow.arrangement import Arrangement
 from repro.dlog.dataflow.graph import Graph
 from repro.dlog.dataflow.operators import (
+    AggregateNode,
+    AntiJoinNode,
     DistinctNode,
     JoinNode,
     Node,
@@ -73,9 +81,15 @@ def _make_base_rule(member: str, arity: int) -> A.Rule:
 class CompiledProgram:
     """A compiled program; create runtimes with :meth:`start`."""
 
-    def __init__(self, checked: CheckedProgram, recursive_mode: str = "dred"):
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        recursive_mode: str = "dred",
+        source_text: Optional[str] = None,
+    ):
         self.checked = checked
         self.recursive_mode = recursive_mode
+        self.source_text = source_text
         self.evaluator = Evaluator(checked)
         self.planner = Planner(checked, self.evaluator)
         self.stratification: Stratification = stratify(
@@ -88,8 +102,21 @@ class CompiledProgram:
             r.name for r in checked.ast.relations if r.role == "output"
         ]
 
-    def start(self) -> "Runtime":
-        return Runtime(self)
+    @property
+    def program_hash(self) -> Optional[str]:
+        """Checkpoint-compatibility identity; ``None`` when the program
+        was built without source text (checkpoints then unavailable)."""
+        if self.source_text is None:
+            return None
+        return program_hash(self.source_text, self.recursive_mode)
+
+    def start(self, checkpoint: Optional[dict] = None) -> "Runtime":
+        """Create a runtime; with ``checkpoint`` (from
+        :meth:`Runtime.checkpoint`), restore its state in O(state)
+        instead of recomputing.  A checkpoint whose program hash does
+        not match this program falls back to a cold start; check
+        ``Runtime.restored`` to see which path was taken."""
+        return Runtime(self, checkpoint=checkpoint)
 
     def relation_decl(self, name: str) -> A.RelationDecl:
         return self.checked.relation(name)
@@ -143,7 +170,7 @@ def compile_program(
     """
     ast = parse_program(text, source)
     checked = check_program(ast)
-    return CompiledProgram(checked, recursive_mode)
+    return CompiledProgram(checked, recursive_mode, source_text=text)
 
 
 class TxnResult:
@@ -196,7 +223,9 @@ class TxnResult:
 class Runtime:
     """A running instance of a compiled program."""
 
-    def __init__(self, program: CompiledProgram):
+    def __init__(
+        self, program: CompiledProgram, checkpoint: Optional[dict] = None
+    ):
         self.program = program
         self.checked = program.checked
         self.graph = Graph()
@@ -217,7 +246,18 @@ class Runtime:
         self.txn_count = 0
         self.total_txn_time = 0.0
         self._build()
-        self.initial_result = self._apply({}, initial=True)
+        self.restored = (
+            checkpoint is not None and self._restore(checkpoint)
+        )
+        if self.restored:
+            # The restored operator state already contains the static
+            # rows and every prior transaction's effects; re-running the
+            # initial transaction would double-count them.
+            self.initial_result = TxnResult(
+                {}, program.output_relations, [], 0.0
+            )
+        else:
+            self.initial_result = self._apply({}, initial=True)
 
     # -- construction -------------------------------------------------------------
 
@@ -512,6 +552,105 @@ class Runtime:
                 delta.add(row, -1)
         return delta
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Serialize the full dataflow state into a plain dict.
+
+        Captures input relation contents, every stateful operator's
+        arrangement (keyed by node index in the deterministically built
+        graph), and each recursive SCC's DRed support sets, stamped with
+        the program hash.  The result is picklable and independent of
+        this runtime (one-level copies throughout), so the runtime may
+        keep transacting after the snapshot.
+        """
+        phash = self.program.program_hash
+        if phash is None:
+            raise CheckpointError(
+                "program was compiled without source text; "
+                "checkpoints need a program hash"
+            )
+        nodes: List[Tuple[int, str, object]] = []
+        for index, node in enumerate(self.graph.nodes):
+            kind = _node_kind(node)
+            if kind is None:
+                continue
+            nodes.append((index, kind, _node_state(node, kind)))
+        sccs = {
+            scc_idx: {
+                rel: set(rows)
+                for rel, rows in evaluator.state.sets.items()
+            }
+            for scc_idx, evaluator in self.scc_evaluators.items()
+        }
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "program_hash": phash,
+            "inputs": {
+                name: set(rows) for name, rows in self._input_state.items()
+            },
+            "nodes": nodes,
+            "sccs": sccs,
+            "txn_count": self.txn_count,
+            "total_txn_time": self.total_txn_time,
+        }
+
+    def _restore(self, data: dict) -> bool:
+        """Load a checkpoint into this (freshly built, empty) runtime.
+
+        Returns ``False`` — leaving the runtime untouched for a cold
+        start — whenever the checkpoint does not exactly fit this
+        program: wrong format, hash mismatch, or any structural
+        disagreement with the built graph.
+        """
+        if not isinstance(data, dict):
+            return False
+        if data.get("format") != CHECKPOINT_FORMAT:
+            return False
+        phash = self.program.program_hash
+        if phash is None or data.get("program_hash") != phash:
+            return False
+        graph_nodes = self.graph.nodes
+        staged: List[Tuple[Node, str, object]] = []
+        for index, kind, state in data.get("nodes", ()):
+            if not 0 <= index < len(graph_nodes):
+                return False
+            node = graph_nodes[index]
+            if _node_kind(node) != kind:
+                return False
+            staged.append((node, kind, state))
+        inputs = data.get("inputs", {})
+        if set(inputs) != set(self._input_state):
+            return False
+        sccs = data.get("sccs", {})
+        if set(sccs) != set(self.scc_evaluators):
+            return False
+        # Validation passed; copy the state in.
+        for name, rows in inputs.items():
+            self._input_state[name] = set(rows)
+        for node, kind, state in staged:
+            if kind == "distinct":
+                node.counts = ZSet(dict(state))
+            elif kind == "join":
+                left, right = state
+                node.left = _arrangement_from(left)
+                node.right = _arrangement_from(right)
+            elif kind == "antijoin":
+                left, counts = state
+                node.left = _arrangement_from(left)
+                node.right_counts = dict(counts)
+            elif kind == "aggregate":
+                node.groups = _arrangement_from(state)
+        for scc_idx, rels in sccs.items():
+            evaluator = self.scc_evaluators[scc_idx]
+            evaluator.state.sets = {
+                rel: set(rows) for rel, rows in rels.items()
+            }
+            evaluator.state.indexes = {}
+        self.txn_count = data.get("txn_count", 0)
+        self.total_txn_time = data.get("total_txn_time", 0.0)
+        return True
+
     # -- inspection ----------------------------------------------------------------------
 
     def dump(self, relation: str) -> Set[tuple]:
@@ -544,6 +683,39 @@ class Runtime:
                 for name, stats in sorted(self.operator_totals.items())
             },
         }
+
+
+def _node_kind(node: Node) -> Optional[str]:
+    """Stable tag of a stateful node's class for checkpoint validation."""
+    if isinstance(node, DistinctNode):
+        return "distinct"
+    if isinstance(node, JoinNode):
+        return "join"
+    if isinstance(node, AntiJoinNode):
+        return "antijoin"
+    if isinstance(node, AggregateNode):
+        return "aggregate"
+    return None
+
+
+def _arrangement_data(arrangement: Arrangement) -> Dict[object, Dict[object, int]]:
+    return {key: dict(group) for key, group in arrangement.data.items()}
+
+
+def _arrangement_from(data: Dict[object, Dict[object, int]]) -> Arrangement:
+    out = Arrangement()
+    out.data = {key: dict(group) for key, group in data.items()}
+    return out
+
+
+def _node_state(node: Node, kind: str) -> object:
+    if kind == "distinct":
+        return dict(node.counts.data)
+    if kind == "join":
+        return (_arrangement_data(node.left), _arrangement_data(node.right))
+    if kind == "antijoin":
+        return (_arrangement_data(node.left), dict(node.right_counts))
+    return _arrangement_data(node.groups)
 
 
 def _row_validator(decl: A.RelationDecl, tenv: T.TypeEnv):

@@ -47,6 +47,11 @@ class StructValue:
     def __setattr__(self, name, value):
         raise AttributeError("StructValue is immutable")
 
+    def __reduce__(self):
+        # Default unpickling assigns slots one by one, which the
+        # immutability guard rejects; rebuild through the constructor.
+        return (StructValue, (self.constructor, self.fields))
+
     def __eq__(self, other):
         return (
             isinstance(other, StructValue)
@@ -81,6 +86,9 @@ class MapValue:
 
     def __setattr__(self, name, value):
         raise AttributeError("MapValue is immutable")
+
+    def __reduce__(self):
+        return (MapValue, (self.pairs,))
 
     def get(self, key, default=None):
         return self._index.get(key, default)

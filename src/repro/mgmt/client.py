@@ -15,7 +15,8 @@ hook to re-subscribe and reconcile (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TransactionError
 from repro.mgmt.monitor import RowUpdate, TableUpdates
@@ -48,6 +49,16 @@ class ManagementClient:
             )
         self.timeout = policy.call_timeout
         self._monitor_callbacks: Dict[str, Callable[[TableUpdates], None]] = {}
+        # Guards callback registration/dispatch: the server starts
+        # streaming a monitor's updates the instant it registers it, so
+        # a notification can reach our reader thread before monitor()
+        # has seen the response and stored the callback.  Updates for
+        # unknown monitor ids are buffered while a subscribe is in
+        # flight and replayed on registration — dropping them would
+        # lose rows that are in neither the snapshot nor the stream.
+        self._dispatch_lock = threading.RLock()
+        self._pending_subscribes = 0
+        self._undelivered: Dict[str, List[Tuple[dict, Optional[str]]]] = {}
         self._schema: Optional[DatabaseSchema] = None
         self._reconnect_hooks: List[Callable[[], None]] = []
         self.conn = ResilientConnection(
@@ -74,9 +85,22 @@ class ManagementClient:
         # update-id; rebind it so the monitor callback's downstream work
         # stays in the originating trace.
         uid = params[2] if len(params) > 2 else None
-        callback = self._monitor_callbacks.get(monitor_id)
-        if callback is None:
-            return
+        with self._dispatch_lock:
+            callback = self._monitor_callbacks.get(monitor_id)
+            if callback is None:
+                if self._pending_subscribes:
+                    self._undelivered.setdefault(monitor_id, []).append(
+                        (wire_updates, uid)
+                    )
+                return
+            self._dispatch(callback, wire_updates, uid)
+
+    def _dispatch(
+        self,
+        callback: Callable[[TableUpdates], None],
+        wire_updates: dict,
+        uid: Optional[str],
+    ) -> None:
         if uid is not None:
             with use_update_id(uid):
                 callback(self._decode_updates(wire_updates))
@@ -86,7 +110,9 @@ class ManagementClient:
     def _on_transport_reconnect(self) -> None:
         # Server-side monitor state died with the old connection; a
         # restarted server may not even share our schema cache.
-        self._monitor_callbacks.clear()
+        with self._dispatch_lock:
+            self._monitor_callbacks.clear()
+            self._undelivered.clear()
         for hook in list(self._reconnect_hooks):
             hook()
 
@@ -121,15 +147,36 @@ class ManagementClient:
         """Subscribe; returns ``(monitor_id, initial TableUpdates)``.
 
         ``callback`` runs on the connection's dispatcher thread — it may
-        call back into this client.
+        call back into this client.  Updates the server streamed between
+        registering the monitor and this call returning are replayed to
+        ``callback`` (in arrival order) before the snapshot is returned;
+        they always post-date it.
         """
-        result = self.call("monitor", [tables])
+        self.get_schema()  # cache now: dispatch must not block on the wire
+        with self._dispatch_lock:
+            self._pending_subscribes += 1
+        try:
+            result = self.call("monitor", [tables])
+        except BaseException:
+            with self._dispatch_lock:
+                self._pending_subscribes -= 1
+                if not self._pending_subscribes:
+                    self._undelivered.clear()
+            raise
         monitor_id = result["monitor_id"]
-        self._monitor_callbacks[monitor_id] = callback
+        with self._dispatch_lock:
+            self._pending_subscribes -= 1
+            self._monitor_callbacks[monitor_id] = callback
+            backlog = self._undelivered.pop(monitor_id, ())
+            if not self._pending_subscribes:
+                self._undelivered.clear()
+            for wire_updates, uid in backlog:
+                self._dispatch(callback, wire_updates, uid)
         return monitor_id, self._decode_updates(result["initial"])
 
     def monitor_cancel(self, monitor_id: str) -> None:
-        self._monitor_callbacks.pop(monitor_id, None)
+        with self._dispatch_lock:
+            self._monitor_callbacks.pop(monitor_id, None)
         self.call("monitor_cancel", [monitor_id])
 
     def _decode_updates(self, wire: dict) -> TableUpdates:

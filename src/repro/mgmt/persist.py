@@ -54,27 +54,53 @@ class Persister:
         self._journal.flush()
 
     def snapshot(self) -> None:
-        """Write a full snapshot (does not truncate the journal)."""
-        data = {
-            "schema": self.db.schema.to_json(),
-            "tables": {
-                table: {
-                    row.uuid: row_to_wire(self.db.schema.table(table), row.values)
-                    for row in self.db.rows(table)
-                }
-                for table in self.db.tables()
-            },
-        }
+        """Write a full snapshot (does not truncate the journal).
+
+        The whole snapshot is built under the database's commit lock so
+        it is one consistent cut, not a per-table sequence of reads; the
+        temp file is fsynced before the rename so a crash mid-snapshot
+        can never leave a torn (or silently empty) snapshot file.
+        """
+        with self.db._lock:
+            data = {
+                "schema": self.db.schema.to_json(),
+                "tables": {
+                    table: {
+                        row.uuid: row_to_wire(
+                            self.db.schema.table(table), row.values
+                        )
+                        for row in self.db.rows(table)
+                    }
+                    for table in self.db.tables()
+                },
+            }
         tmp = self._snapshot_path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(data, f)
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, self._snapshot_path)
 
     def compact(self) -> None:
-        """Snapshot and truncate the journal."""
-        self.snapshot()
-        self._journal.close()
-        self._journal = open(self._journal_path, "w", encoding="utf-8")
+        """Snapshot and truncate the journal, atomically with respect to
+        commits.
+
+        Both database locks are held across snapshot + truncation, in
+        the same order ``transact`` acquires them (commit lock, then
+        notify lock).  A transaction therefore either commits *and*
+        notifies before the snapshot cut — it is in the snapshot and its
+        journal entry is dropped with the rest — or it does both after
+        the new journal is open and lands there.  Without this, a commit
+        between the snapshot write and the journal reopen was lost: too
+        late for the snapshot, erased by the truncation.
+        """
+        with self.db._lock:
+            with self.db._notify_lock:
+                self.snapshot()
+                self._journal.close()
+                self._journal = open(
+                    self._journal_path, "w", encoding="utf-8"
+                )
 
     def close(self) -> None:
         self.db.remove_monitor(self._monitor)

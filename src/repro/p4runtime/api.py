@@ -222,6 +222,18 @@ class DeviceService:
 
     # -- reads and config -------------------------------------------------------
 
+    def get_config_epoch(self) -> Optional[str]:
+        """The update-id of the last config change applied to this
+        device (``None`` if never written).  A restarting controller
+        compares this against its checkpointed epoch to decide whether a
+        full resync is needed."""
+        return getattr(self.sim, "config_epoch", None)
+
+    def set_config_epoch(self, epoch: Optional[str]) -> None:
+        """Stamp the device's config epoch explicitly (used after a
+        full resync, which bypasses the per-batch update-id path)."""
+        self.sim.config_epoch = epoch
+
     def read_table(self, table: str) -> List[TableEntry]:
         return self.sim.table(table).entries()
 

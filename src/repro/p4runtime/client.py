@@ -147,6 +147,13 @@ class P4RuntimeClient:
 
         return self.conn.state == CONNECTED
 
+    def get_config_epoch(self) -> Optional[str]:
+        result = self.call("get_config_epoch", [], retryable=True)
+        return result["epoch"]
+
+    def set_config_epoch(self, epoch: Optional[str]) -> None:
+        self.call("set_config_epoch", [epoch])
+
     def read_table(self, table: str) -> List[TableWrite]:
         result = self.call("read_table", [table], retryable=True)
         return [TableWrite.from_wire(e) for e in result["entries"]]

@@ -138,6 +138,12 @@ class _Connection:
                 with use_update_id(uid):
                     return {"applied": service.apply_batch(updates, mcast)}
             return {"applied": service.apply_batch(updates, mcast)}
+        if method == "get_config_epoch":
+            return {"epoch": service.get_config_epoch()}
+        if method == "set_config_epoch":
+            (epoch,) = params
+            service.set_config_epoch(epoch)
+            return {}
         if method == "read_table":
             (table,) = params
             return {

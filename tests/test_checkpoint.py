@@ -1,0 +1,428 @@
+"""Warm-start checkpointing tests.
+
+Three layers are covered:
+
+* engine — ``Runtime.checkpoint()`` / ``start(checkpoint=...)`` must be
+  semantically invisible: a restored runtime produces byte-identical
+  output deltas to one that never checkpointed, over randomized
+  insert/delete sequences including joins, negation, and recursion
+  (property-based, hypothesis);
+* controller — ``NerpaController(state_dir=...)`` warm restart skips
+  resync for epoch-matched devices, applies only the delta accumulated
+  while it was down, and falls back to cold start when the checkpoint
+  is absent or stale;
+* persistence — ``Persister.compact()`` must not lose transactions
+  that commit between the snapshot and the journal reopen (regression
+  for the snapshot/journal race).
+"""
+
+import pickle
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.snvs import build_snvs
+from repro.core.controller import NerpaController
+from repro.dlog.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    load_checkpoint,
+    program_hash,
+    save_checkpoint,
+)
+from repro.dlog.engine import compile_program
+from repro.errors import ReproError
+from repro.mgmt.database import Database
+from repro.mgmt.persist import Persister, restore
+
+# A join plus a negation: both arrangement kinds and distinct counts
+# carry state across the checkpoint.
+JOIN_NEG_PROGRAM = """
+input relation R(a: bigint, b: bigint)
+input relation S(b: bigint, c: bigint)
+output relation J(a: bigint, b: bigint, c: bigint)
+output relation OnlyR(a: bigint, b: bigint)
+J(a, b, c) :- R(a, b), S(b, c).
+OnlyR(a, b) :- R(a, b), not S(b, _).
+"""
+
+REACH_PROGRAM = """
+input relation Edge(a: bigint, b: bigint)
+output relation Reach(x: bigint, y: bigint)
+Reach(x, y) :- Edge(x, y).
+Reach(x, z) :- Reach(x, y), Edge(y, z).
+"""
+
+
+def _canonical(result):
+    """Deltas as canonical bytes — the strongest equality we can ask
+    two runtimes for."""
+    return pickle.dumps(
+        sorted(
+            (name, sorted(zset.data.items()))
+            for name, zset in result.deltas.items()
+        )
+    )
+
+
+def _pairs(lo=0, hi=4):
+    return st.lists(
+        st.tuples(st.integers(lo, hi), st.integers(lo, hi)), max_size=6
+    )
+
+
+def _batches(relations, min_size=1, max_size=6):
+    return st.lists(
+        st.fixed_dictionaries(
+            {f"{rel}{sign}": _pairs() for rel in relations for sign in "+-"}
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def _changes(batch, relations):
+    return {
+        "inserts": {rel: batch[f"{rel}+"] for rel in relations},
+        "deletes": {rel: batch[f"{rel}-"] for rel in relations},
+    }
+
+
+class TestEngineCheckpointDifferential:
+    """checkpoint → restore → transact must equal never-checkpointed."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(batches=_batches(("R", "S")), data=st.data())
+    def test_join_and_negation_deltas_identical(self, batches, data):
+        cut = data.draw(st.integers(0, len(batches)), label="cut")
+        reference = compile_program(JOIN_NEG_PROGRAM).start()
+        subject = compile_program(JOIN_NEG_PROGRAM).start()
+        for batch in batches[:cut]:
+            changes = _changes(batch, ("R", "S"))
+            reference.transaction(**changes)
+            subject.transaction(**changes)
+        snapshot = pickle.loads(pickle.dumps(subject.checkpoint()))
+        restored = compile_program(JOIN_NEG_PROGRAM).start(checkpoint=snapshot)
+        assert restored.restored
+        for batch in batches[cut:]:
+            changes = _changes(batch, ("R", "S"))
+            want = reference.transaction(**changes)
+            got = restored.transaction(**changes)
+            assert _canonical(got) == _canonical(want)
+        for rel in ("J", "OnlyR"):
+            assert restored.dump(rel) == reference.dump(rel)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(batches=_batches(("Edge",)), data=st.data())
+    def test_recursive_deltas_identical(self, batches, data):
+        """DRed support-count state must survive the round trip —
+        deletions after restore are where stale counts would show."""
+        cut = data.draw(st.integers(0, len(batches)), label="cut")
+        reference = compile_program(REACH_PROGRAM).start()
+        subject = compile_program(REACH_PROGRAM).start()
+        for batch in batches[:cut]:
+            changes = _changes(batch, ("Edge",))
+            reference.transaction(**changes)
+            subject.transaction(**changes)
+        snapshot = pickle.loads(pickle.dumps(subject.checkpoint()))
+        restored = compile_program(REACH_PROGRAM).start(checkpoint=snapshot)
+        assert restored.restored
+        for batch in batches[cut:]:
+            changes = _changes(batch, ("Edge",))
+            want = reference.transaction(**changes)
+            got = restored.transaction(**changes)
+            assert _canonical(got) == _canonical(want)
+        assert restored.dump("Reach") == reference.dump("Reach")
+
+    def test_checkpoint_then_delete_inside_cycle(self):
+        """Deterministic regression: break a cycle after restoring —
+        over-retained DRed state would keep the unreachable pairs."""
+        runtime = compile_program(REACH_PROGRAM).start()
+        runtime.transaction(
+            inserts={"Edge": [(0, 1), (1, 2), (2, 0), (2, 3)]}
+        )
+        restored = compile_program(REACH_PROGRAM).start(
+            checkpoint=runtime.checkpoint()
+        )
+        runtime.transaction(deletes={"Edge": [(1, 2)]})
+        restored.transaction(deletes={"Edge": [(1, 2)]})
+        assert restored.dump("Reach") == runtime.dump("Reach")
+        assert (0, 3) not in restored.dump("Reach")
+
+
+class TestCheckpointValidation:
+    def test_program_hash_mismatch_falls_back_cold(self):
+        runtime = compile_program(JOIN_NEG_PROGRAM).start()
+        runtime.transaction(inserts={"R": [(1, 2)]})
+        snapshot = runtime.checkpoint()
+        other = compile_program(REACH_PROGRAM).start(checkpoint=snapshot)
+        assert not other.restored
+        assert other.dump("Reach") == set()
+
+    def test_format_mismatch_falls_back_cold(self):
+        runtime = compile_program(JOIN_NEG_PROGRAM).start()
+        snapshot = runtime.checkpoint()
+        snapshot["format"] = CHECKPOINT_FORMAT + 1
+        assert not compile_program(JOIN_NEG_PROGRAM).start(
+            checkpoint=snapshot
+        ).restored
+
+    def test_garbage_checkpoint_falls_back_cold(self):
+        runtime = compile_program(JOIN_NEG_PROGRAM).start(
+            checkpoint={"nonsense": True}
+        )
+        assert not runtime.restored
+        runtime.transaction(inserts={"R": [(1, 2)]})
+        assert runtime.dump("OnlyR") == {(1, 2)}
+
+    def test_hash_distinguishes_source_and_mode(self):
+        base = program_hash("x", "dred")
+        assert program_hash("y", "dred") != base
+        assert program_hash("x", "naive") != base
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "a.ckpt")
+        data = {"format": CHECKPOINT_FORMAT, "payload": [1, 2, 3]}
+        size = save_checkpoint(path, data)
+        assert size > 0
+        assert load_checkpoint(path) == data
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "absent.ckpt")) is None
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_load_truncated_raises(self, tmp_path):
+        path = tmp_path / "cut.ckpt"
+        full = pickle.dumps({"format": CHECKPOINT_FORMAT})
+        path.write_bytes(full[: len(full) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+
+def _snvs_config(db, ports):
+    db.transact(
+        [{"op": "insert", "table": "Vlan", "row": {"vid": 10}}]
+        + [
+            {
+                "op": "insert",
+                "table": "Port",
+                "row": {
+                    "name": f"p{p}",
+                    "port_num": p,
+                    "vlan_mode": "access",
+                    "tag": 10,
+                },
+            }
+            for p in ports
+        ]
+    )
+
+
+class TestControllerWarmStart:
+    def test_warm_restart_skips_resync_and_writes_nothing(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        first = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        ).start()
+        _snvs_config(db, (0, 1))
+        first.drain()
+        entries = len(switch.table("in_vlan"))
+        assert entries == 2
+        first.save_checkpoint()
+        first.stop()
+
+        second = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        )
+        second.start(warm=True)
+        second.drain()
+        assert second.restart_mode == "warm"
+        assert second.warm_skips == 1
+        assert second.device_resyncs == 0
+        assert second.entries_written == 0
+        assert len(switch.table("in_vlan")) == entries
+        second.stop()
+
+    def test_warm_restart_applies_only_offline_delta(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        first = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        ).start()
+        _snvs_config(db, (0, 1))
+        first.drain()
+        full_config_writes = first.entries_written
+        first.save_checkpoint()
+        first.stop()
+        # A change lands while the controller is down.
+        db.transact(
+            [
+                {
+                    "op": "insert",
+                    "table": "Port",
+                    "row": {
+                        "name": "p2",
+                        "port_num": 2,
+                        "vlan_mode": "access",
+                        "tag": 10,
+                    },
+                }
+            ]
+        )
+
+        second = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        )
+        second.start(warm=True)
+        second.drain()
+        assert second.restart_mode == "warm"
+        assert second.warm_skips == 1
+        # Only the new port's entries were shipped, not the full config.
+        assert 0 < second.entries_written < full_config_writes
+        assert len(switch.table("in_vlan")) == 3
+        second.stop()
+
+    def test_epoch_mismatch_forces_resync(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        first = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        ).start()
+        _snvs_config(db, (0, 1))
+        first.drain()
+        first.save_checkpoint()
+        first.stop()
+        # Device restarted (or was written to) behind our back.
+        switch.config_epoch = "ep-someone-else"
+
+        second = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        )
+        second.start(warm=True)
+        second.drain()
+        assert second.restart_mode == "warm"
+        assert second.warm_skips == 0
+        assert second.device_resyncs == 1
+        assert len(switch.table("in_vlan")) == 2
+        second.stop()
+
+    def test_missing_checkpoint_falls_back_cold(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        _snvs_config(db, (0, 1))
+        controller = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        )
+        controller.start(warm=True)
+        controller.drain()
+        assert controller.restart_mode == "cold"
+        assert len(switch.table("in_vlan")) == 2
+        controller.stop()
+
+    def test_corrupt_checkpoint_falls_back_cold(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        _snvs_config(db, (0, 1))
+        (tmp_path / "controller.ckpt").write_bytes(b"\x80garbage")
+        controller = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        )
+        controller.start(warm=True)
+        controller.drain()
+        assert controller.restart_mode == "cold"
+        assert len(switch.table("in_vlan")) == 2
+        controller.stop()
+
+    def test_save_checkpoint_requires_state_dir(self):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        controller = NerpaController(project, db, [switch]).start()
+        with pytest.raises(ReproError):
+            controller.save_checkpoint()
+        controller.stop()
+
+    def test_restart_metrics_exposed(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        first = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        ).start()
+        _snvs_config(db, (0,))
+        first.drain()
+        first.save_checkpoint()
+        assert first.checkpoint_bytes > 0
+        assert first.checkpoint_seconds >= 0.0
+        first.stop()
+        second = NerpaController(
+            project, db, [switch], state_dir=str(tmp_path)
+        )
+        second.start(warm=True)
+        restart = second.metrics()["restart"]
+        assert restart["mode"] == "warm"
+        assert restart["start_seconds"] > 0.0
+        second.stop()
+
+
+class TestCompactRace:
+    def test_compact_never_loses_concurrent_transactions(self, tmp_path):
+        """Regression: transactions committing while ``compact()`` runs
+        must land in either the snapshot or the fresh journal — never
+        in the closed one."""
+        schema = build_snvs().schema
+        db = Database(schema)
+        persister = Persister(db, str(tmp_path))
+        stop = threading.Event()
+        inserted = []
+
+        def hammer():
+            vid = 1
+            while not stop.is_set():
+                db.transact(
+                    [
+                        {
+                            "op": "insert",
+                            "table": "Vlan",
+                            "row": {"vid": vid},
+                        }
+                    ]
+                )
+                inserted.append(vid)
+                vid += 1
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for _ in range(50):
+                persister.compact()
+        finally:
+            stop.set()
+            thread.join(30.0)
+        assert not thread.is_alive()
+        persister.close()
+
+        recovered = restore(str(tmp_path), schema=schema)
+        assert recovered.count("Vlan") == len(inserted)
+        assert {row["vid"] for row in recovered.rows("Vlan")} == set(inserted)

@@ -8,7 +8,7 @@ installed the digest-producing entries.  Covered both in-process and
 across the real TCP servers.
 """
 
-import socket
+import threading
 import time
 
 import pytest
@@ -36,18 +36,12 @@ FAST = RetryPolicy(
 )
 
 
-def free_port() -> int:
-    with socket.socket() as s:
-        s.bind(("127.0.0.1", 0))
-        return s.getsockname()[1]
-
-
-def wait_for(predicate, timeout=10.0, what="condition"):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
+def wait_for(predicate, timeout=30.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
         if predicate():
             return
-        time.sleep(0.01)
+        time.sleep(0.002)
     raise AssertionError(f"timed out waiting for {what}")
 
 
@@ -243,26 +237,49 @@ class TestRemoteTracePath:
         """mgmt server → controller → P4Runtime server, all over TCP:
         the update-id minted server-side at the transact must reach the
         device-side write span, and the digest notification must carry
-        it back for the feedback link."""
+        it back for the feedback link.
+
+        Synchronization is event-based, not timing-based: ports are
+        OS-assigned (no bind race), delivery of the config and of the
+        digest is observed through bounded waits on pipeline events
+        (device table state, ingest hooks), and each wait is followed by
+        ``controller.drain()`` — the pipeline's own quiescence barrier —
+        before any span assertions, so no fixed delay is assumed
+        anywhere.
+        """
         project = build_snvs()
         db = Database(project.schema)
         sim = project.new_simulator(n_ports=8)
-        mgmt_srv = ManagementServer(db, port=free_port()).start()
-        p4_srv = P4RuntimeServer(sim, port=free_port()).start()
+        mgmt_srv = ManagementServer(db, port=0).start()
+        p4_srv = P4RuntimeServer(sim, port=0).start()
         mgmt = ManagementClient(*mgmt_srv.address, policy=FAST)
         device = P4RuntimeClient(*p4_srv.address, policy=FAST)
-        controller = NerpaController(project, mgmt, [device]).start()
+        controller = NerpaController(project, mgmt, [device])
+        # Observe the digest crossing back into the controller before
+        # it enters the pipeline; installed pre-start so the device
+        # subscription carries the instrumented callback.
+        digest_ingested = threading.Event()
+        inner_on_digest = controller._on_digest
+
+        def on_digest_spy(name, values):
+            inner_on_digest(name, values)
+            digest_ingested.set()
+
+        controller._on_digest = on_digest_spy
+        controller.start()
         try:
             _transact_config(mgmt.transact)
+            # The monitor notification crosses the wire asynchronously;
+            # the device table going live is the delivery event.  After
+            # it, drain() guarantees every ingested changeset has been
+            # evaluated and applied — so the spans all exist.
             wait_for(
                 lambda: len(sim.table("in_vlan")) == 2,
                 what="config to reach the device",
             )
+            controller.drain()
             uid = obs.TRACER.latest_update_id(name="mgmt.transact")
-            wait_for(
-                lambda: "device.apply" in span_names(uid),
-                what="device-side span for the transact's update-id",
-            )
+            assert uid is not None
             names = span_names(uid)
             assert {
                 "mgmt.transact",
@@ -274,19 +291,15 @@ class TestRemoteTracePath:
 
             # Digest feedback over the wire links back to that uid.
             device.inject(0, ethernet(B, A))
-
-            def digest_spans():
-                return [
-                    s
-                    for s in obs.TRACER.spans()
-                    if s.name == "controller.digest"
-                ]
-
-            wait_for(
-                lambda: len(digest_spans()) >= 1,
-                what="digest to round-trip",
-            )
-            assert digest_spans()[0].attrs["link"] == uid
+            assert digest_ingested.wait(30.0), "digest never round-tripped"
+            controller.drain()
+            digest_spans = [
+                s
+                for s in obs.TRACER.spans()
+                if s.name == "controller.digest"
+            ]
+            assert digest_spans
+            assert any(s.attrs["link"] == uid for s in digest_spans)
         finally:
             controller.stop()
             device.close()
