@@ -1,0 +1,149 @@
+"""S1 — evaluate-stage scaling: E5 churn across 1/2/4/8 shards.
+
+The headline number for `repro.dlog.shard`: the Robotron churn mix
+(70% retags/moves, 15% adds, 15% removes) driven through a
+vlan-partitioned derivation — a join plus a per-vlan aggregate, so each
+transaction does real per-shard evaluation work — at increasing shard
+counts with process workers.
+
+Correctness is asserted unconditionally: every shard count must land on
+exactly the single-engine final state (the differential oracle in
+``tests/test_differential.py`` is the fine-grained version of this
+check).  The throughput assertion (4 shards ≥ 2.5x single-shard) only
+runs on machines with ≥ 4 cores — shards are processes, and on a 1-core
+container the parallel configurations time-slice one core plus pay the
+exchange overhead, which measures the scheduler, not the design.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import report
+from repro.dlog import compile_program
+from repro.workloads.churn import robotron_churn
+
+N_PORTS = 1500
+N_VLANS = 64
+N_EVENTS = 480
+EVENTS_PER_TXN = 24
+SHARD_COUNTS = (1, 2, 4, 8)
+
+# Partition-friendly derivation: everything keys on the vlan, so the
+# plan partitions Port/Trunk by vlan and each shard owns its vlans'
+# joins and aggregates end to end.  Flood is the work amplifier — the
+# per-vlan self-join makes each retag touch O(vlan size) derived rows,
+# so per-shard evaluation dominates the exchange/merge overhead the
+# facade adds.
+PROGRAM = """
+input relation Port(port: bigint, vlan: bigint)
+input relation Trunk(vlan: bigint, uplink: bigint)
+output relation Uplinked(port: bigint, uplink: bigint)
+output relation VlanSize(vlan: bigint, n: bigint)
+output relation Flood(vlan: bigint, src: bigint, dst: bigint)
+Uplinked(p, u) :- Port(p, v), Trunk(v, u).
+VlanSize(v, n) :- Port(p, v), var n = Aggregate((v), count()).
+Flood(v, p1, p2) :- Port(p1, v), Port(p2, v), p1 != p2.
+"""
+
+OUTPUTS = ("Uplinked", "VlanSize", "Flood")
+
+
+def _batches(seed):
+    """The churn stream as per-transaction (inserts, deletes) pairs.
+
+    Events are pre-translated against a reference port→vlan map so
+    every runtime configuration replays the identical transaction
+    sequence."""
+    state = {p: 1 + (p % N_VLANS) for p in range(N_PORTS)}
+    batches = []
+    events = list(robotron_churn(N_PORTS, N_VLANS, N_EVENTS, seed=seed))
+    for start in range(0, len(events), EVENTS_PER_TXN):
+        inserts, deletes = [], []
+        for event in events[start : start + EVENTS_PER_TXN]:
+            if event.kind == "add_port":
+                if event.port in state:
+                    continue
+                inserts.append((event.port, event.vlan))
+                state[event.port] = event.vlan
+            elif event.kind == "del_port":
+                if event.port in state:
+                    deletes.append((event.port, state.pop(event.port)))
+            else:  # retag/move: the cross-shard row movement case
+                if event.port in state:
+                    deletes.append((event.port, state[event.port]))
+                    inserts.append((event.port, event.vlan))
+                    state[event.port] = event.vlan
+        batches.append((inserts, deletes))
+    return batches
+
+
+def _run_one(shards, batches):
+    program = compile_program(PROGRAM)
+    if shards == 1:
+        runtime = program.start()
+    else:
+        runtime = program.start(shards=shards, shard_workers="process")
+    try:
+        runtime.transaction(
+            inserts={
+                "Port": [(p, 1 + (p % N_VLANS)) for p in range(N_PORTS)],
+                "Trunk": [(v, 1000 + v) for v in range(1, N_VLANS + 1)],
+            }
+        )
+        started = time.perf_counter()
+        for inserts, deletes in batches:
+            runtime.transaction(
+                inserts={"Port": inserts}, deletes={"Port": deletes}
+            )
+        elapsed = time.perf_counter() - started
+        final = {rel: runtime.dump(rel) for rel in OUTPUTS}
+    finally:
+        runtime.close()
+    return elapsed, final
+
+
+def run_scaling(seed=0):
+    batches = _batches(seed)
+    results = {}
+    for shards in SHARD_COUNTS:
+        results[shards] = _run_one(shards, batches)
+    return results
+
+
+def test_s1_shard_scaling(benchmark, bench_seed):
+    results = benchmark.pedantic(
+        run_scaling, args=(bench_seed,), rounds=1, iterations=1
+    )
+
+    base_elapsed, base_state = results[1]
+    rows = []
+    for shards in SHARD_COUNTS:
+        elapsed, state = results[shards]
+        # Shard count must be unobservable in the final state.
+        assert state == base_state, f"{shards}-shard state diverged"
+        rows.append(
+            (
+                shards,
+                f"{elapsed * 1e3:.1f} ms",
+                f"{N_EVENTS / elapsed:.0f} ev/s",
+                f"{base_elapsed / elapsed:.2f}x",
+            )
+        )
+    report(
+        f"S1: {N_EVENTS} churn events, {N_PORTS} ports, "
+        f"{N_VLANS} vlans, process workers",
+        rows,
+        ["shards", "elapsed", "throughput", "speedup"],
+    )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup = results[1][0] / results[4][0]
+        assert speedup >= 2.5, (
+            f"4-shard speedup {speedup:.2f}x < 2.5x on {cores} cores"
+        )
+    else:
+        print(
+            f"({cores} core(s): correctness asserted, ≥2.5x speedup "
+            "assertion needs ≥4 cores)"
+        )

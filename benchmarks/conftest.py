@@ -4,9 +4,19 @@ Every bench prints a paper-style results block (series/rows matching
 the corresponding table or figure) in addition to pytest-benchmark's
 timing output, so `pytest benchmarks/ --benchmark-only -s` regenerates
 the evaluation artifacts directly.
+
+Workload seeds are deterministic by default (every bench that takes the
+``bench_seed`` fixture gets 0) so CI numbers compare run-to-run; pass
+``--bench-seed N`` or set ``BENCH_SEED=N`` to explore other workload
+draws, and copy the ``reproduce with`` line a bench prints to replay a
+specific one.
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
 
 
 def report(title: str, rows, columns) -> None:
@@ -17,3 +27,25 @@ def report(title: str, rows, columns) -> None:
     print("-" * len(header))
     for row in rows:
         print(" | ".join(f"{str(v):>18}" for v in row))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-seed",
+        type=int,
+        default=None,
+        help="workload seed for randomized benchmarks "
+        "(default: $BENCH_SEED, then 0)",
+    )
+
+
+@pytest.fixture
+def bench_seed(request):
+    """The workload seed, with its provenance printed for replay."""
+    option = request.config.getoption("--bench-seed")
+    if option is not None:
+        seed = option
+    else:
+        seed = int(os.environ.get("BENCH_SEED", "0"))
+    print(f"\nreproduce with: --bench-seed {seed}")
+    return seed

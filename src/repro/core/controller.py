@@ -401,6 +401,8 @@ class NerpaController:
         breaker_threshold: int = 3,
         coalesce: bool = True,
         state_dir: Optional[str] = None,
+        shards: int = 1,
+        shard_workers: str = "process",
     ):
         self.project = project
         self.bindings = project.bindings
@@ -408,6 +410,10 @@ class NerpaController:
         #: per-device config epochs), typically beside the mgmt
         #: ``Persister`` directory.  ``None`` disables checkpointing.
         self.state_dir = state_dir
+        #: Evaluate-stage shard count; >1 runs a ``ShardedRuntime``
+        #: behind the same pipeline (a per-shard-count checkpoint:
+        #: changing ``shards`` degrades the next start to cold).
+        self.shards = shards
         # Warm-start state: if a compatible checkpoint exists, restore
         # the engine from it instead of recomputing the fixpoint.  An
         # unreadable or hash-mismatched checkpoint silently degrades to
@@ -421,12 +427,18 @@ class NerpaController:
                 data = None
             if data is not None:
                 runtime = project.program.start(
-                    checkpoint=data.get("engine")
+                    checkpoint=data.get("engine"),
+                    shards=shards,
+                    shard_workers=shard_workers,
                 )
                 if runtime.restored:
                     self._warm_state = data
         self.runtime = (
-            runtime if runtime is not None else project.program.start()
+            runtime
+            if runtime is not None
+            else project.program.start(
+                shards=shards, shard_workers=shard_workers
+            )
         )
         self.mgmt = _wrap_mgmt(mgmt)
         self.devices = [
@@ -679,6 +691,9 @@ class NerpaController:
             self._engine_thread = None
         for writer in self._writers:
             writer.thread.join(timeout=2.0)
+        close = getattr(self.runtime, "close", None)
+        if close is not None:
+            close()
 
     # -- warm-start checkpointing ------------------------------------------------
 

@@ -101,6 +101,7 @@ class CompiledProgram:
         self.output_relations: List[str] = [
             r.name for r in checked.ast.relations if r.role == "output"
         ]
+        self._shard_plan = None
 
     @property
     def program_hash(self) -> Optional[str]:
@@ -110,13 +111,43 @@ class CompiledProgram:
             return None
         return program_hash(self.source_text, self.recursive_mode)
 
-    def start(self, checkpoint: Optional[dict] = None) -> "Runtime":
+    def start(
+        self,
+        checkpoint: Optional[dict] = None,
+        shards: int = 1,
+        shard_workers: str = "process",
+    ):
         """Create a runtime; with ``checkpoint`` (from
         :meth:`Runtime.checkpoint`), restore its state in O(state)
         instead of recomputing.  A checkpoint whose program hash does
         not match this program falls back to a cold start; check
-        ``Runtime.restored`` to see which path was taken."""
+        ``Runtime.restored`` to see which path was taken.
+
+        ``shards > 1`` returns a :class:`~repro.dlog.shard.ShardedRuntime`
+        — the same API over N per-shard engines (``shard_workers`` picks
+        ``"process"`` or ``"inline"`` evaluation); checkpoints are then
+        sharded bundles, incompatible across shard counts.
+        """
+        if shards > 1:
+            from repro.dlog.shard.runtime import ShardedRuntime
+
+            return ShardedRuntime(
+                self,
+                shards=shards,
+                workers=shard_workers,
+                checkpoint=checkpoint,
+                plan=self.shard_plan(),
+            )
         return Runtime(self, checkpoint=checkpoint)
+
+    def shard_plan(self):
+        """The program's partition analysis (cached); see
+        :func:`repro.dlog.shard.analyze`."""
+        if self._shard_plan is None:
+            from repro.dlog.shard.analyze import analyze
+
+            self._shard_plan = analyze(self)
+        return self._shard_plan
 
     def relation_decl(self, name: str) -> A.RelationDecl:
         return self.checked.relation(name)
@@ -607,6 +638,11 @@ class Runtime:
             return False
         if data.get("format") != CHECKPOINT_FORMAT:
             return False
+        if data.get("sharded"):
+            # A sharded bundle (N nested engine checkpoints) carries no
+            # operator state at this level; only ShardedRuntime with the
+            # matching shard count can restore it.
+            return False
         phash = self.program.program_hash
         if phash is None or data.get("program_hash") != phash:
             return False
@@ -665,6 +701,10 @@ class Runtime:
         if isinstance(node, DistinctNode):
             return set(node.positive_records())
         raise KeyError(f"unknown relation {relation!r}")
+
+    def close(self) -> None:
+        """No resources to release; exists so callers can treat
+        single-shard and sharded runtimes uniformly."""
 
     def state_size(self) -> int:
         """Total records held by all stateful operators (memory proxy)."""

@@ -1,0 +1,30 @@
+"""repro.dlog.shard — partitioned evaluation across worker processes.
+
+``ShardedRuntime`` runs N unmodified per-shard engines behind the
+single-engine ``start/transaction/checkpoint`` API; ``analyze``
+computes the :class:`ShardPlan` that decides which input relations
+hash-partition and which broadcast.  See :mod:`repro.dlog.shard.analyze`
+for the correctness argument.
+"""
+
+from repro.dlog.shard.analyze import (
+    PARTITIONED,
+    REPLICATED,
+    SCATTERED,
+    ShardPlan,
+    analyze,
+    shard_for,
+)
+from repro.dlog.shard.runtime import ShardedRuntime
+from repro.dlog.shard.worker import ShardWorkerError
+
+__all__ = [
+    "PARTITIONED",
+    "REPLICATED",
+    "SCATTERED",
+    "ShardPlan",
+    "ShardWorkerError",
+    "ShardedRuntime",
+    "analyze",
+    "shard_for",
+]

@@ -33,6 +33,13 @@ class Persister:
         os.makedirs(directory, exist_ok=True)
         self._journal_path = os.path.join(directory, "journal.ndjson")
         self._snapshot_path = os.path.join(directory, "snapshot.json")
+        # A crash mid-append leaves a torn final line.  ``restore``
+        # stops replaying at the first undecodable line — sound only
+        # while the torn line is the *last* line.  Appending new records
+        # after a torn tail would break that invariant (every
+        # post-restart commit silently dropped on the next restore), so
+        # the tail is truncated away before the journal reopens.
+        self.repaired_bytes = _repair_journal(self._journal_path)
         self._journal = open(self._journal_path, "a", encoding="utf-8")
         self._monitor, _ = db.add_monitor(
             MonitorSpec.all_tables(db.schema), self._append
@@ -105,6 +112,42 @@ class Persister:
     def close(self) -> None:
         self.db.remove_monitor(self._monitor)
         self._journal.close()
+
+
+def _repair_journal(path: str) -> int:
+    """Truncate a torn journal tail; return the bytes dropped.
+
+    Scans forward keeping the offset after the last well-formed line (a
+    newline-terminated JSON record, or a blank line — ``restore`` skips
+    those); everything past it is a partial write from a crash.  The
+    truncation is fsynced so the repair itself survives a crash.
+    """
+    try:
+        handle = open(path, "r+", encoding="utf-8")
+    except FileNotFoundError:
+        return 0
+    with handle:
+        good = 0
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if stripped:
+                if not line.endswith("\n"):
+                    break  # unterminated final record
+                try:
+                    json.loads(stripped)
+                except json.JSONDecodeError:
+                    break
+            good = handle.tell()
+        end = handle.seek(0, os.SEEK_END)
+        dropped = end - good
+        if dropped:
+            handle.truncate(good)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return dropped
 
 
 def restore(directory: str, schema: Optional[DatabaseSchema] = None) -> Database:

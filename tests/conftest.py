@@ -1,0 +1,35 @@
+"""Test-suite-wide hypothesis configuration.
+
+Two profiles, selected by ``HYPOTHESIS_PROFILE`` (default ``local``):
+
+``ci``
+    Derandomized (the fixed seed derives from each test's name) with
+    deadlines off and ``print_blob=True``, so a CI failure is
+    reproducible from the log alone: rerun the printed
+    ``@reproduce_failure`` blob locally, or rerun the whole job — the
+    same examples regenerate every time.
+
+``local``
+    Random exploration (fresh examples each run) with deadlines off —
+    wall-clock deadlines flake under parallel test runs and loaded
+    machines, and none of our properties are latency assertions.
+
+See docs/TESTING.md for the differential-oracle methodology and the
+failure-reproduction workflow.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+)
+settings.register_profile(
+    "local",
+    deadline=None,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "local"))

@@ -65,3 +65,32 @@ class TestStats:
     @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
     def test_percentile_monotone(self, values):
         assert percentile(values, 25) <= percentile(values, 75)
+
+    def test_percentile_denormal_clamps_to_bracket(self):
+        """Regression for the bracket clamp: interpolating between two
+        denormals can underflow below the lower bracket value
+        (5e-324 * 0.5 rounds to 0.0); the result must stay inside
+        [lo_v, hi_v]."""
+        tiny = 5e-324  # smallest positive denormal
+        values = [tiny, tiny, 3 * tiny]
+        p50 = percentile(values, 50)
+        assert tiny <= p50 <= 3 * tiny
+
+    def test_percentile_denormal_interpolation_never_escapes(self):
+        tiny = 5e-324
+        values = [tiny, 2 * tiny, 4 * tiny, 8 * tiny]
+        for pct in range(0, 101, 5):
+            p = percentile(values, pct)
+            assert values[0] <= p <= values[-1], (pct, p)
+
+    @given(
+        st.lists(
+            st.floats(min_value=5e-324, max_value=1e-300), min_size=2, max_size=20
+        ),
+        st.integers(0, 100),
+    )
+    def test_percentile_subnormal_within_range(self, values, pct):
+        """Property form of the clamp regression: any percentile of any
+        subnormal-range sample stays within [min, max]."""
+        p = percentile(values, pct)
+        assert min(values) <= p <= max(values)

@@ -387,3 +387,175 @@ class TestEngineVsFullRecompute:
                 ("OnlyR",) + row for row in runtime.dump("OnlyR")
             }
             assert got == baseline.installed
+
+# ---------------------------------------------------------------------------
+# Sharding oracle: ShardedRuntime(shards=n) vs the single-shard engine
+# vs full recompute.
+# ---------------------------------------------------------------------------
+
+from repro.dlog.shard import ShardedRuntime  # noqa: E402
+
+
+def _delta_bytes(result):
+    """Canonical serialization of a TxnResult's deltas — the comparison
+    is byte-identical, not merely set-equal, so weight mistakes
+    (double-emitted replicated rows, missed cross-shard rederivations)
+    cannot hide behind set semantics."""
+    return repr(
+        sorted(
+            (rel, sorted(delta.data.items()))
+            for rel, delta in result.deltas.items()
+        )
+    )
+
+
+def _batch_changes(batch):
+    return {
+        "inserts": {"R": batch["R+"], "S": batch["S+"]},
+        "deletes": {"R": batch["R-"], "S": batch["S-"]},
+    }
+
+
+class TestShardingOracle:
+    """Shard count must be unobservable: for every generated program and
+    transaction sequence, `ShardedRuntime(shards=n)` emits byte-identical
+    output deltas to the single-shard engine and converges to the same
+    fixpoint as the recompute-everything baseline."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=_join_scenarios(), shards=st.sampled_from([1, 2, 4]))
+    def test_join_negation_deltas_byte_identical(self, scenario, shards):
+        r_arity, s_arity, jr, js, batches = scenario
+        program = compile_program(_join_program(r_arity, s_arity, jr, js))
+        single = program.start()
+        sharded = ShardedRuntime(program, shards=shards, workers="inline")
+        baseline = FullRecomputeController(_join_derive(jr, js))
+        try:
+            assert _delta_bytes(single.initial_result) == _delta_bytes(
+                sharded.initial_result
+            )
+            for batch in batches:
+                changes = _batch_changes(batch)
+                expect = single.transaction(**changes)
+                got = sharded.transaction(**changes)
+                baseline.apply_change(**changes)
+                assert _delta_bytes(expect) == _delta_bytes(got)
+                assert expect.warnings == got.warnings
+                merged = {("J",) + row for row in sharded.dump("J")} | {
+                    ("OnlyR",) + row for row in sharded.dump("OnlyR")
+                }
+                assert merged == baseline.installed
+        finally:
+            sharded.close()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        batches=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "Edge+": st.lists(
+                        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                        max_size=6,
+                    ),
+                    "Edge-": st.lists(
+                        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                        max_size=6,
+                    ),
+                }
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        shards=st.sampled_from([1, 2, 4]),
+    )
+    def test_recursive_closure_deltas_byte_identical(self, batches, shards):
+        """Recursion degrades to broadcast (transitive closure is not
+        key-closed) — the fallback must still be delta-exact, with the
+        cross-shard reference counts collapsing the N replicas."""
+        program = compile_program(REACH_PROGRAM)
+        single = program.start()
+        sharded = ShardedRuntime(program, shards=shards, workers="inline")
+        baseline = FullRecomputeController(_closure_derive)
+        try:
+            for batch in batches:
+                changes = {
+                    "inserts": {"Edge": batch["Edge+"]},
+                    "deletes": {"Edge": batch["Edge-"]},
+                }
+                expect = single.transaction(**changes)
+                got = sharded.transaction(**changes)
+                baseline.apply_change(**changes)
+                assert _delta_bytes(expect) == _delta_bytes(got)
+                assert sharded.dump("Reach") == baseline.installed
+        finally:
+            sharded.close()
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=_join_scenarios(), shards=st.sampled_from([2, 4]))
+    def test_checkpoint_restore_mid_sequence(self, scenario, shards):
+        """Checkpoint after the first half of the batches, restore into a
+        fresh ShardedRuntime, and replay the rest: the restored facade
+        must stay byte-identical to an uninterrupted single engine."""
+        r_arity, s_arity, jr, js, batches = scenario
+        program = compile_program(_join_program(r_arity, s_arity, jr, js))
+        single = program.start()
+        sharded = ShardedRuntime(program, shards=shards, workers="inline")
+        cut = len(batches) // 2
+        try:
+            for batch in batches[:cut]:
+                changes = _batch_changes(batch)
+                single.transaction(**changes)
+                sharded.transaction(**changes)
+            snapshot = sharded.checkpoint()
+        finally:
+            sharded.close()
+        resumed = ShardedRuntime(
+            program, shards=shards, workers="inline", checkpoint=snapshot
+        )
+        try:
+            assert resumed.restored
+            for batch in batches[cut:]:
+                changes = _batch_changes(batch)
+                expect = single.transaction(**changes)
+                got = resumed.transaction(**changes)
+                assert _delta_bytes(expect) == _delta_bytes(got)
+            for rel in ("R", "S", "J", "OnlyR"):
+                assert resumed.dump(rel) == single.dump(rel)
+        finally:
+            resumed.close()
+
+    def test_process_workers_agree_with_inline(self):
+        """One deterministic pass over the IPC path: process workers
+        (the production configuration) against the single engine."""
+        program = compile_program(_join_program(2, 2, 0, 1))
+        single = program.start()
+        sharded = program.start(shards=2, shard_workers="process")
+        batches = [
+            {"inserts": {"R": [(1, 2), (3, 2)], "S": [(2, 9)]},
+             "deletes": {}},
+            {"inserts": {"R": [(4, 5)], "S": [(5, 1)]},
+             "deletes": {"S": [(2, 9)]}},
+            {"inserts": {}, "deletes": {"R": [(1, 2)]}},
+        ]
+        try:
+            for changes in batches:
+                expect = single.transaction(**changes)
+                got = sharded.transaction(**changes)
+                assert _delta_bytes(expect) == _delta_bytes(got)
+                assert expect.warnings == got.warnings
+            for rel in ("R", "S", "J", "OnlyR"):
+                assert sharded.dump(rel) == single.dump(rel)
+        finally:
+            sharded.close()

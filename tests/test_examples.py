@@ -32,7 +32,8 @@ def run_example(name):
 @pytest.mark.parametrize(
     "name",
     ["quickstart", "snvs_demo", "reachability_routing", "ovn_growth_report",
-     "l3_router", "observability_demo"],
+     "l3_router",
+     pytest.param("observability_demo", marks=pytest.mark.serial)],
 )
 def test_example_runs(name):
     output = run_example(name)
@@ -55,6 +56,7 @@ def test_l3_router_longest_prefix():
     assert "port 3" in output  # the /24 won before withdrawal
 
 
+@pytest.mark.serial  # the demo enables the global obs registry
 def test_observability_demo_traces_one_update_id():
     output = run_example("observability_demo")
     # One config change's trace covers every plane under a single id...

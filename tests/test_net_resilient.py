@@ -352,3 +352,67 @@ class TestTornJournal:
         db2 = restore(str(tmp_path))
         names = sorted(row["name"] for row in db2.rows("Port"))
         assert names == ["a", "b"]
+
+    def test_restart_after_torn_tail_preserves_new_commits(self, tmp_path):
+        """Regression: a Persister attaching to a journal with a torn
+        final line must repair (truncate) it before appending.  Without
+        the repair, records written after the torn line are silently
+        dropped by restore, which stops replaying at the first
+        undecodable line — post-restart commits would be lost."""
+        import os
+
+        from repro.mgmt.persist import Persister, restore
+
+        db = make_db()
+        persister = Persister(db, str(tmp_path))
+        db.transact(
+            [{"op": "insert", "table": "Port", "row": {"name": "a", "vlan": 1}}]
+        )
+        persister.close()
+        journal = os.path.join(str(tmp_path), "journal.ndjson")
+        with open(journal, "a", encoding="utf-8") as f:
+            f.write('{"Port": {"u9": {"new": {"name": "x", "vl')  # crash
+
+        # Restart: recover what the journal holds, attach, commit more.
+        db2 = restore(str(tmp_path), schema=db.schema)
+        persister2 = Persister(db2, str(tmp_path))
+        assert persister2.repaired_bytes > 0
+        db2.transact(
+            [{"op": "insert", "table": "Port", "row": {"name": "b", "vlan": 2}}]
+        )
+        persister2.close()
+
+        db3 = restore(str(tmp_path), schema=db.schema)
+        names = sorted(row["name"] for row in db3.rows("Port"))
+        assert names == ["a", "b"]
+
+    def test_repair_is_noop_on_clean_journal(self, tmp_path):
+        from repro.mgmt.persist import Persister, restore
+
+        db = make_db()
+        persister = Persister(db, str(tmp_path))
+        db.transact(
+            [{"op": "insert", "table": "Port", "row": {"name": "a", "vlan": 1}}]
+        )
+        persister.close()
+
+        persister2 = Persister(db, str(tmp_path))
+        assert persister2.repaired_bytes == 0
+        persister2.close()
+        db2 = restore(str(tmp_path), schema=db.schema)
+        assert [row["name"] for row in db2.rows("Port")] == ["a"]
+
+    def test_repair_tolerates_blank_lines_and_missing_journal(self, tmp_path):
+        import os
+
+        from repro.mgmt.persist import _repair_journal
+
+        missing = os.path.join(str(tmp_path), "journal.ndjson")
+        assert _repair_journal(missing) == 0
+
+        with open(missing, "w", encoding="utf-8") as f:
+            f.write('{"Port": {}}\n\n{"Port": {}}\n{"torn')
+        dropped = _repair_journal(missing)
+        assert dropped == len('{"torn')
+        with open(missing, encoding="utf-8") as f:
+            assert f.read() == '{"Port": {}}\n\n{"Port": {}}\n'

@@ -16,6 +16,8 @@ from repro.mgmt.schema import simple_schema
 from repro.mgmt.server import ManagementServer
 from repro.net import FaultInjector, RetryPolicy
 
+pytestmark = pytest.mark.serial  # resets the global obs registry
+
 FAST = RetryPolicy(
     connect_timeout=2.0,
     call_timeout=2.0,

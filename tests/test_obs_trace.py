@@ -24,6 +24,8 @@ from repro.p4.headers import ethernet
 from repro.p4runtime.client import P4RuntimeClient
 from repro.p4runtime.server import P4RuntimeServer
 
+pytestmark = pytest.mark.serial  # resets the global obs registry
+
 A = "aa:00:00:00:00:0a"
 B = "aa:00:00:00:00:0b"
 

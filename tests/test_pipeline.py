@@ -586,6 +586,8 @@ class TestReconnectReconcileRace:
 
 
 class TestPipelineObservability:
+    pytestmark = pytest.mark.serial  # enables/resets the global obs registry
+
     def test_metrics_expose_queue_depths_and_stage_timings(self):
         project, db, switch = build()
         controller = NerpaController(project, db, [switch]).start()
@@ -627,3 +629,178 @@ class TestPipelineObservability:
         finally:
             obs.disable()
             obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Two-slot algebra edge cases and barrier×supersede×join interactions.
+# The shard dispatcher leans on these from multiple processes, so the
+# corner transitions are pinned individually.
+# ---------------------------------------------------------------------------
+
+
+class TestChangesetEdgeCases:
+    def test_modify_of_missing_row_still_emits_both_halves(self):
+        """A modify whose old row this changeset never saw records the
+        stale delete as-is; the engine is the layer that resolves it
+        (warn + apply the insert), so nothing may be dropped here."""
+        cs = Changeset()
+        cs.record_delete("R", ("T", "u1"), ("u1", "stale"))
+        cs.record_insert("R", ("T", "u1"), ("u1", "fresh"))
+        inserts, deletes = cs.to_transaction()
+        assert deletes == {"R": [("u1", "stale")]}
+        assert inserts == {"R": [("u1", "fresh")]}
+
+    def test_modify_of_missing_row_resolves_at_the_engine(self):
+        """End-to-end: the engine ignores the stale delete with a
+        warning and applies the insert — the modify degrades to an
+        insert instead of corrupting state."""
+        from repro.dlog import compile_program
+
+        runtime = compile_program(
+            """
+input relation R(k: string, v: string)
+output relation Out(k: string, v: string)
+Out(k, v) :- R(k, v).
+"""
+        ).start()
+        cs = Changeset()
+        cs.record_delete("R", ("T", "u1"), ("u1", "stale"))
+        cs.record_insert("R", ("T", "u1"), ("u1", "fresh"))
+        inserts, deletes = cs.to_transaction()
+        result = runtime.transaction(inserts=inserts, deletes=deletes)
+        assert len(result.warnings) == 1
+        assert "delete of absent row" in result.warnings[0]
+        assert runtime.dump("Out") == {("u1", "fresh")}
+
+    def test_delete_then_modify_pins_oldest_delete(self):
+        """delete(a) then modify(b→c): the pending delete keeps the
+        oldest value a (what the device actually holds); the modify's
+        own stale delete must not overwrite it."""
+        cs = Changeset()
+        cs.record_delete("R", ("T", "u1"), ("u1", "a"))
+        cs.record_delete("R", ("T", "u1"), ("u1", "b"))
+        cs.record_insert("R", ("T", "u1"), ("u1", "c"))
+        inserts, deletes = cs.to_transaction()
+        assert deletes == {"R": [("u1", "a")]}
+        assert inserts == {"R": [("u1", "c")]}
+
+    def test_insert_then_modify_collapses_to_final_insert(self):
+        cs = Changeset()
+        cs.record_insert("R", ("T", "u1"), ("u1", "a"))
+        cs.record_delete("R", ("T", "u1"), ("u1", "a"))
+        cs.record_insert("R", ("T", "u1"), ("u1", "b"))
+        inserts, deletes = cs.to_transaction()
+        assert deletes == {}
+        assert inserts == {"R": [("u1", "b")]}
+
+    def test_round_trip_key_survives_is_empty_but_emits_nothing(self):
+        """delete(a)+insert(a) nets to nothing in the transaction while
+        the key's cell still exists — is_empty() must look at cell
+        contents, not key presence."""
+        cs = Changeset()
+        cs.record_delete("R", ("T", "u1"), ("u1", "a"))
+        cs.record_insert("R", ("T", "u1"), ("u1", "a"))
+        inserts, deletes = cs.to_transaction()
+        assert inserts == {} and deletes == {}
+        assert not cs.is_empty()  # cell is populated, elision is emission-time
+
+    def test_device_batch_modify_of_missing_entry_is_plain_insert(self):
+        batch = DeviceBatch(seq=1)
+        batch.record_insert("patch", (5,), entry(5, 7))
+        writes = batch.emit_writes()
+        assert [w.kind for w in writes] == ["INSERT"]
+
+    def test_device_batch_delete_then_modify_emits_delete_first(self):
+        batch = DeviceBatch(seq=1)
+        batch.record_delete("patch", (5,), entry(5, 7))
+        batch.record_delete("patch", (5,), entry(5, 8))
+        batch.record_insert("patch", (5,), entry(5, 9))
+        writes = batch.emit_writes()
+        assert [w.kind for w in writes] == ["DELETE", "INSERT"]
+        assert tuple(writes[0].entry.action_params) == (7,)  # oldest pinned
+        assert tuple(writes[1].entry.action_params) == (9,)
+
+
+class TestQueueBarrierSupersedeJoin:
+    def test_supersede_keeps_barriers_and_join_accounting(self):
+        """Dropping superseded items must decrement unfinished exactly
+        once per drop, so a later join sees only surviving work."""
+        q = CoalescingQueue()
+        q.put(_Item(0))
+        q.put(_Barrier())
+        q.put(_Item(1))
+        assert q.unfinished == 3
+        q.put(_Barrier(), supersedes=lambda item: isinstance(item, _Item))
+        assert q.unfinished == 2
+        done = threading.Event()
+
+        def consume():
+            while q.pop(timeout=1.0) is not None:
+                q.task_done()
+                if q.unfinished == 0:
+                    break
+            done.set()
+
+        threading.Thread(target=consume, daemon=True).start()
+        q.join(time.monotonic() + 5.0)
+        assert done.wait(5.0)
+        assert q.unfinished == 0
+
+    def test_supersede_wakes_producer_blocked_on_full_queue(self):
+        q = CoalescingQueue(maxlen=2)
+        q.put(_Barrier())
+        q.put(_Barrier())
+        started = threading.Event()
+        finished = threading.Event()
+
+        def producer():
+            started.set()
+            q.put(_Barrier())  # blocks: queue is full
+            finished.set()
+
+        threading.Thread(target=producer, daemon=True).start()
+        assert started.wait(2.0)
+        assert not finished.wait(0.1)  # genuinely blocked
+        q.put(_Barrier(), supersedes=lambda item: True)
+        assert finished.wait(5.0)
+        assert len(q) == 2
+        assert q.unfinished == 2
+
+    def test_supersede_exposes_mergeable_tail(self):
+        """Removing a barrier via supersede legitimately re-enables tail
+        coalescing: nothing remains between the old tail and the new
+        item, so merging preserves order."""
+        q = CoalescingQueue()
+        q.put(_Item(0))
+        q.put(_Barrier())
+        q.put(_Item(1), supersedes=lambda item: isinstance(item, _Barrier))
+        assert len(q) == 1
+        assert q.coalesced == 1
+        assert q.pop().values == [0, 1]
+        assert q.unfinished == 1
+
+    def test_barrier_blocks_merge_but_join_sees_all_three(self):
+        q = CoalescingQueue()
+        q.put(_Item(0))
+        q.put(_Barrier())
+        q.put(_Item(1))
+        assert len(q) == 3
+        for _ in range(3):
+            q.pop(timeout=1.0)
+            q.task_done()
+        q.join(time.monotonic() + 1.0)
+
+    def test_close_unblocks_producer_stuck_on_full_queue(self):
+        q = CoalescingQueue(maxlen=1)
+        q.put(_Barrier())
+        finished = threading.Event()
+
+        def producer():
+            q.put(_Barrier())  # blocks until close drops it
+            finished.set()
+
+        threading.Thread(target=producer, daemon=True).start()
+        assert not finished.wait(0.1)
+        q.close()
+        assert finished.wait(5.0)
+        assert len(q) == 0
