@@ -18,6 +18,51 @@ import os
 
 import pytest
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+#: Fleet-scale benches hold two sockets per simulated device (client +
+#: farm side) in one process; 1k devices needs headroom well past the
+#: common 1024 default.
+_WANT_NOFILE = 8192
+
+
+def _ensure_nofile(n: int) -> bool:
+    """Raise the soft RLIMIT_NOFILE toward ``n``; True if we got it."""
+    if resource is None:
+        return True  # no rlimits on this platform; let the bench try
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft >= n:
+        return True
+    target = n if hard == resource.RLIM_INFINITY else min(n, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+    except (ValueError, OSError):
+        return False
+    return resource.getrlimit(resource.RLIMIT_NOFILE)[0] >= n
+
+
+def pytest_configure(config):
+    # Best-effort bump up front so every bench sees the raised limit.
+    _ensure_nofile(_WANT_NOFILE)
+
+
+@pytest.fixture
+def require_nofile():
+    """Skip (with the fix spelled out) when fd headroom can't be had."""
+
+    def require(n: int) -> None:
+        if not _ensure_nofile(n):
+            soft = resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+            pytest.skip(
+                f"needs RLIMIT_NOFILE >= {n} (soft limit is {soft}); "
+                f"raise it with `ulimit -n {n}` and rerun"
+            )
+
+    return require
+
 
 def report(title: str, rows, columns) -> None:
     """Print one experiment's results table."""

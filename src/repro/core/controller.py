@@ -15,12 +15,18 @@ a **staged pipeline** (see ``docs/ARCHITECTURE.md``):
   :class:`~repro.core.pipeline.DeviceBatch` per device.  Rows of the
   reserved ``MulticastGroup(group, port)`` output relation are folded
   into per-group port lists and ride the same batch;
-* **apply** (stage 3, one writer thread per device) — batches merge on
-  each device's own coalescing queue and go out as a single batched
+* **apply** (stage 3, the fan-out plane) — batches merge on each
+  device's own coalescing queue and go out as a single batched
   P4Runtime write (deletes before inserts, atomic per batch, in
-  engine-transaction order).  Device I/O is parallel across devices
-  and holds **no** controller-wide lock, so a slow or broken device
-  backs up only its own queue — never the engine or its peers.
+  engine-transaction order).  By default (``apply_plane="aio"``) one
+  shared :class:`~repro.net.aio.Reactor` drives a lightweight
+  :class:`~repro.core.fanout.DeviceChannel` state machine per device —
+  reactor-backed devices write non-blocking, local/classic devices run
+  on a small pool — so thousands of devices cost one loop thread, not
+  thousands of writer threads; ``apply_plane="threads"`` keeps the
+  PR 3 one-thread-per-device plane.  Either way device I/O holds
+  **no** controller-wide lock, so a slow or broken device backs up
+  only its own queue — never the engine or its peers.
 
 :meth:`NerpaController.drain` waits for end-to-end quiescence and
 surfaces semantic errors (``WriteError`` etc.) deferred by the
@@ -63,6 +69,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import obs
 from repro.analysis.stats import percentile
 from repro.core.codegen import TableBinding
+from repro.core.fanout import FanoutPlane
 from repro.core.pipeline import MULTICAST_RELATION, NerpaProject
 from repro.core.pipeline.changeset import Changeset, DeviceBatch
 from repro.core.pipeline.queues import CoalescingQueue
@@ -215,6 +222,10 @@ class _RemoteDevice:
     def __init__(self, client):
         self.client = client
 
+    #: Channels route batches through ``apply_batch_async`` when the
+    #: backing client supports it (see :class:`_AioRemoteDevice`).
+    asynchronous = False
+
     def write(self, updates) -> None:
         self.client.write(updates)
 
@@ -254,6 +265,33 @@ class _RemoteDevice:
         return self.client.health()
 
 
+class _AioRemoteDevice(_RemoteDevice):
+    """A device on the shared reactor: everything `_RemoteDevice` does
+    (the blocking surface serves resync tasks, which run on the fan-out
+    plane's pool) plus the non-blocking batched-write path the
+    :class:`~repro.core.fanout.DeviceChannel` hot loop uses."""
+
+    asynchronous = True
+
+    def apply_batch_async(
+        self, updates, mcast, update_ids, callback, seq=None
+    ) -> None:
+        self.client.apply_batch_async(
+            updates, mcast, update_ids, callback, seq=seq
+        )
+
+    @property
+    def writable(self) -> bool:
+        return self.client.writable
+
+    @property
+    def send_buffer_bytes(self) -> int:
+        return self.client.send_buffer_bytes
+
+    def on_drain(self, callback) -> None:
+        self.client.on_drain(callback)
+
+
 class _ManagedDevice:
     """A device plus its circuit-breaker state."""
 
@@ -270,6 +308,11 @@ class _ManagedDevice:
         self.writes_issued = 0
         #: End-to-end latencies (ingest enqueue → applied) per batch.
         self.latencies: List[float] = []
+        #: Wire round-trip latencies (issue → ack) per batch — the
+        #: device's own service time, excluding queue wait.  A slow
+        #: peer shows up here *and* in ``latencies``; fleet-wide queue
+        #: pressure only in ``latencies``.
+        self.io_latencies: List[float] = []
         #: The update-id of the last batch/resync this controller saw
         #: applied to the device — the device's config epoch as the
         #: controller believes it.  Checkpointed for warm restarts.
@@ -371,8 +414,11 @@ class _DeviceWriter:
 
 
 def _wrap_device(target):
+    from repro.p4runtime.aio_client import AioP4RuntimeClient
     from repro.p4runtime.client import P4RuntimeClient
 
+    if isinstance(target, AioP4RuntimeClient):
+        return _AioRemoteDevice(target)
     if isinstance(target, P4RuntimeClient):
         return _RemoteDevice(target)
     if isinstance(target, (Simulator, DeviceService)):
@@ -403,8 +449,21 @@ class NerpaController:
         state_dir: Optional[str] = None,
         shards: int = 1,
         shard_workers: str = "process",
+        apply_plane: str = "aio",
+        reactor=None,
     ):
         self.project = project
+        #: ``"aio"`` (default) drives stage 3 through one shared
+        #: reactor + per-device channels; ``"threads"`` keeps PR 3's
+        #: one-writer-thread-per-device plane (the bench baseline and
+        #: the differential-test reference).
+        if apply_plane not in ("aio", "threads"):
+            raise ReproError(f"unknown apply plane {apply_plane!r}")
+        self.apply_plane = apply_plane
+        #: Optional shared :class:`~repro.net.aio.Reactor` — pass the
+        #: one the devices' ``AioP4RuntimeClient``s run on so channel
+        #: and connection callbacks share a loop thread.
+        self._reactor = reactor
         self.bindings = project.bindings
         #: Directory for the controller checkpoint (engine state +
         #: per-device config epochs), typically beside the mgmt
@@ -460,10 +519,14 @@ class NerpaController:
         # idempotent and is always applied directly.
         self._buffer: Optional[List[TableWrite]] = None
 
-        # Pipeline plumbing (built in start()).
+        # Pipeline plumbing (built in start()).  ``_writers`` holds
+        # either `_DeviceWriter`s (threads plane) or `DeviceChannel`s
+        # (aio plane) — both expose ``.queue``/``.device``/``.start()``,
+        # which is all drain/resync/health/metrics touch.
         self._engine_queue: Optional[CoalescingQueue] = None
         self._engine_thread: Optional[threading.Thread] = None
-        self._writers: List[_DeviceWriter] = []
+        self._writers: List = []
+        self._fanout_plane: Optional[FanoutPlane] = None
         self._seq = 0
         self._errors: List[BaseException] = []
         self._stats_lock = threading.Lock()
@@ -560,9 +623,26 @@ class NerpaController:
             target=self._engine_loop, name="nerpa-engine", daemon=True
         )
         self._engine_thread.start()
-        self._writers = [
-            _DeviceWriter(self, device) for device in self.devices
-        ]
+        if self.apply_plane == "aio":
+            self._fanout_plane = FanoutPlane(
+                reactor=self._reactor,
+                max_blocking_workers=min(64, max(8, len(self.devices))),
+                on_error=self._defer_error,
+            )
+            self._writers = [
+                self._fanout_plane.channel(
+                    device,
+                    self._channel_runner,
+                    name=device.name,
+                    maxlen=512,
+                    merge=self.coalesce,
+                )
+                for device in self.devices
+            ]
+        else:
+            self._writers = [
+                _DeviceWriter(self, device) for device in self.devices
+            ]
         for writer in self._writers:
             writer.start()
         for device in self.devices:
@@ -690,7 +770,12 @@ class NerpaController:
             self._engine_thread.join(timeout=2.0)
             self._engine_thread = None
         for writer in self._writers:
-            writer.thread.join(timeout=2.0)
+            thread = getattr(writer, "thread", None)
+            if thread is not None:
+                thread.join(timeout=2.0)
+        if self._fanout_plane is not None:
+            self._fanout_plane.stop()
+            self._fanout_plane = None
         close = getattr(self.runtime, "close", None)
         if close is not None:
             close()
@@ -1150,26 +1235,83 @@ class NerpaController:
             finally:
                 queue.task_done()
 
-    def _apply_device_batch(
+    def _prepare_batch(
         self, device: _ManagedDevice, batch: DeviceBatch
-    ) -> None:
-        """Issue one (possibly merged) batch through the breaker.
-
-        Runs on the device's writer thread with no controller-wide
-        lock held — device I/O never blocks the engine or its peers.
-        """
-        started = time.perf_counter()
+    ) -> Optional[List[TableWrite]]:
+        """Breaker gate shared by both apply paths: emit the batch's
+        writes, or return ``None`` when there is nothing to do (empty
+        after coalescing, or the device is quarantined — counted as a
+        missed sync either way the breaker requires)."""
         writes = batch.emit_writes()
         if not writes and not batch.mcast:
-            return
+            return None
         if device.quarantined:
             device.syncs_missed += 1
             if obs.enabled():
                 obs.REGISTRY.counter(
                     "controller_syncs_skipped_total", device=device.name
                 ).inc()
+            return None
+        return writes
+
+    def _finish_batch(
+        self,
+        device: _ManagedDevice,
+        batch: DeviceBatch,
+        writes: List[TableWrite],
+        started: float,
+        issued_at: Optional[float] = None,
+    ) -> None:
+        """Success bookkeeping shared by both apply paths."""
+        device.record_success()
+        device.writes_issued += 1
+        if writes:
+            # Mirror the device side exactly: only table writes advance
+            # the on-device epoch (a multicast-only batch never reaches
+            # ``DeviceService.write``), and warm start's skip decision
+            # relies on the two staying equal.
+            device.config_epoch = batch.update_id
+        applied = time.perf_counter()
+        latency = applied - batch.first_enqueued
+        with self._stats_lock:
+            self.entries_written += len(writes)
+            _append_sample(self.sync_latencies, latency)
+            _append_sample(device.latencies, latency)
+            if issued_at is not None:
+                _append_sample(device.io_latencies, applied - issued_at)
+            _append_sample(self._stage_seconds["apply"], applied - started)
+
+    def _batch_failed(
+        self, device: _ManagedDevice, exc: BaseException
+    ) -> None:
+        """Transport-failure bookkeeping shared by both apply paths."""
+        tripped = device.record_failure(exc, self.breaker_threshold)
+        device.syncs_missed += 1
+        if obs.enabled():
+            obs.REGISTRY.counter(
+                "controller_breaker_failures_total", device=device.name
+            ).inc()
+            if tripped:
+                obs.REGISTRY.counter(
+                    "controller_breaker_trips_total", device=device.name
+                ).inc()
+
+    def _apply_device_batch(
+        self, device: _ManagedDevice, batch: DeviceBatch
+    ) -> None:
+        """Issue one (possibly merged) batch through the breaker —
+        the blocking path (writer threads, or the fan-out plane's pool
+        for local and classic-client devices).
+
+        Runs with no controller-wide lock held — device I/O never
+        blocks the engine or its peers.
+        """
+        started = time.perf_counter()
+        writes = self._prepare_batch(device, batch)
+        if writes is None:
             return
         uid = batch.update_id
+        issued_at = time.perf_counter()
         try:
             if obs.enabled():
                 with obs.TRACER.adopt(batch.parent), use_update_id(
@@ -1191,32 +1333,115 @@ class NerpaController:
                         writes, batch.mcast, batch.update_ids
                     )
         except _TRANSPORT_ERRORS as exc:
-            tripped = device.record_failure(exc, self.breaker_threshold)
-            device.syncs_missed += 1
-            if obs.enabled():
-                obs.REGISTRY.counter(
-                    "controller_breaker_failures_total", device=device.name
-                ).inc()
-                if tripped:
-                    obs.REGISTRY.counter(
-                        "controller_breaker_trips_total", device=device.name
-                    ).inc()
+            self._batch_failed(device, exc)
             return
-        device.record_success()
-        device.writes_issued += 1
-        if writes:
-            # Mirror the device side exactly: only table writes advance
-            # the on-device epoch (a multicast-only batch never reaches
-            # ``DeviceService.write``), and warm start's skip decision
-            # relies on the two staying equal.
-            device.config_epoch = uid
-        applied = time.perf_counter()
-        latency = applied - batch.first_enqueued
-        with self._stats_lock:
-            self.entries_written += len(writes)
-            _append_sample(self.sync_latencies, latency)
-            _append_sample(device.latencies, latency)
-            _append_sample(self._stage_seconds["apply"], applied - started)
+        self._finish_batch(device, batch, writes, started, issued_at)
+
+    # -- stage 3, aio plane ------------------------------------------------------
+
+    def _channel_runner(self, channel, item, done) -> None:
+        """Execute one queue item for a :class:`DeviceChannel`.
+
+        Loop thread.  Batches for reactor-backed devices go out
+        non-blocking; everything else (local simulators, classic
+        blocking clients, resync/warm-sync ``_WriterTask``s) runs on
+        the plane's pool — with the channel holding the slot either
+        way, so per-device FIFO is preserved across both paths.
+        """
+        device = channel.device
+        self._gauge_depth(device.name, channel.queue)
+        if isinstance(item, _WriterTask):
+
+            def run_task() -> None:
+                item.run(device)
+                done(None)
+
+            self._fanout_plane.run_blocking(run_task)
+            return
+        if getattr(device.io, "asynchronous", False):
+            self._apply_batch_async(channel, item, done)
+            return
+
+        def run_batch() -> None:
+            try:
+                self._apply_device_batch(device, item)
+            except Exception as exc:  # noqa: BLE001 - surfaced at drain()
+                done(exc)
+                return
+            done(None)
+
+        self._fanout_plane.run_blocking(run_batch)
+
+    def _apply_batch_async(self, channel, batch: DeviceBatch, done) -> None:
+        """Non-blocking apply for one batch (loop thread).
+
+        Watermark-aware: a connection whose send buffer is past its
+        high watermark parks the channel on ``on_drain`` instead of
+        buffering without bound — the device's queue then coalesces
+        the backlog, exactly as it does for a slow blocking device.
+        """
+        device = channel.device
+        io = device.io
+        started = time.perf_counter()
+
+        def issue() -> None:
+            # Re-gated after a potential drain wait: the breaker may
+            # have tripped while this channel was parked.
+            writes = self._prepare_batch(device, batch)
+            if writes is None:
+                done(None)
+                return
+            uid = batch.update_id
+            channel.mark_awaiting_ack()
+            issued_at = time.perf_counter()
+            if obs.enabled():
+                obs.REGISTRY.gauge(
+                    "fanout_send_buffer_bytes", device=device.name
+                ).set(io.send_buffer_bytes)
+
+            def on_ack(applied, error) -> None:
+                if obs.enabled():
+                    obs.REGISTRY.gauge(
+                        "fanout_send_buffer_bytes", device=device.name
+                    ).set(io.send_buffer_bytes)
+                if error is not None:
+                    if isinstance(error, _TRANSPORT_ERRORS):
+                        self._batch_failed(device, error)
+                        done(None)
+                    else:
+                        # Semantic rejection — a controller bug, not a
+                        # flaky peer: surfaced at drain() like the
+                        # blocking path's WriteError.
+                        done(error)
+                    return
+                if obs.enabled():
+                    with obs.TRACER.adopt(batch.parent), use_update_id(uid):
+                        with obs.TRACER.span(
+                            "device.write",
+                            update_id=uid,
+                            device=device.name,
+                            writes=len(writes),
+                            txns=batch.txns,
+                        ) as span:
+                            span.set(applied=True, ack=True)
+                    # The span records at ack time; its duration is the
+                    # send→ack interval, not the (instant) body above.
+                    span.duration = time.perf_counter() - issued_at
+                self._finish_batch(device, batch, writes, started, issued_at)
+                done(None)
+
+            io.apply_batch_async(
+                writes,
+                batch.mcast,
+                batch.update_ids,
+                on_ack,
+                seq=(batch.seq, batch.last_seq),
+            )
+
+        if io.writable:
+            issue()
+        else:
+            io.on_drain(issue)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -1508,6 +1733,20 @@ class NerpaController:
                 },
             },
         }
+        if self._fanout_plane is not None:
+            states: Dict[str, int] = {}
+            for chan in self._fanout_plane.channels:
+                states[chan.state] = states.get(chan.state, 0) + 1
+            out["pipeline"]["fanout"] = {
+                "plane": self.apply_plane,
+                "inflight": self._fanout_plane.inflight,
+                "channel_states": states,
+                "send_buffer_bytes": {
+                    d.name: d.io.send_buffer_bytes
+                    for d in self.devices
+                    if getattr(d.io, "asynchronous", False)
+                },
+            }
         if obs.enabled():
             out["registry"] = obs.REGISTRY.snapshot()
         return out

@@ -38,12 +38,25 @@ class PipelineStalledError(ReproError):
 class CoalescingQueue:
     """Bounded FIFO with tail coalescing and join accounting."""
 
-    def __init__(self, name: str = "queue", maxlen: int = 512, merge: bool = True):
+    def __init__(
+        self,
+        name: str = "queue",
+        maxlen: int = 512,
+        merge: bool = True,
+        on_ready: Optional[Callable[[], None]] = None,
+    ):
         self.name = name
         self.maxlen = maxlen
         #: ``merge=False`` turns tail coalescing off (every put appends)
         #: — the unbatched baseline for the pipeline benchmark.
         self.merge = merge
+        #: Called (outside the queue lock) after a put appends a new
+        #: distinct item.  The async apply plane uses this to schedule
+        #: the device's state machine on the reactor instead of parking
+        #: a writer thread in :meth:`pop`.  A merge into the queued
+        #: tail does not notify: the tail's own append already did, and
+        #: its consumer has not popped it yet.
+        self.on_ready = on_ready
         self._items: deque = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -91,19 +104,30 @@ class CoalescingQueue:
                     # queue (they would otherwise sleep until the
                     # consumer's next pop).
                     self._not_full.notify_all()
-            if self.merge and self._items:
-                tail = self._items[-1]
-                fold = getattr(tail, "coalesce", None)
-                if fold is not None and fold(item):
-                    self.coalesced += 1
-                    return
-            while len(self._items) >= self.maxlen and not self._closed:
+            # The coalesce attempt must be re-run every time the
+            # producer wakes from backpressure: the tail it saw before
+            # sleeping may have been popped, and another producer may
+            # have appended a mergeable one — appending unconditionally
+            # after the wait would give a mergeable batch a distinct
+            # slot (and a spurious extra wire write).
+            while True:
+                if self.merge and self._items:
+                    tail = self._items[-1]
+                    fold = getattr(tail, "coalesce", None)
+                    if fold is not None and fold(item):
+                        self.coalesced += 1
+                        return
+                if len(self._items) < self.maxlen or self._closed:
+                    break
                 self._not_full.wait()
             if self._closed:
                 return
             self._items.append(item)
             self._unfinished += 1
             self._not_empty.notify()
+        ready = self.on_ready
+        if ready is not None:
+            ready()
 
     def pop(self, timeout: Optional[float] = None):
         """Dequeue the head; blocks. Returns ``None`` once the queue is
@@ -112,6 +136,19 @@ class CoalescingQueue:
             while not self._items and not self._closed:
                 if not self._not_empty.wait(timeout):
                     return None
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def pop_nowait(self):
+        """Dequeue the head without blocking; ``None`` when empty.
+
+        The async apply plane's per-device state machines use this from
+        the reactor thread — they must never park the event loop.
+        """
+        with self._lock:
             if not self._items:
                 return None
             item = self._items.popleft()

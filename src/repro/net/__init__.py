@@ -6,9 +6,13 @@ operator: retry policies with exponential backoff
 (:class:`~repro.net.retry.RetryPolicy`), reconnecting RPC transport
 (:class:`~repro.net.resilient.ResilientConnection`), and controlled
 fault injection for tests and benchmarks
-(:class:`~repro.net.faults.FaultInjector`).
+(:class:`~repro.net.faults.FaultInjector`), plus the event-loop
+transport (:class:`~repro.net.aio.Reactor` /
+:class:`~repro.net.aio.AioConnection`) that multiplexes thousands of
+peer connections on one thread for fleet-scale fan-out.
 """
 
+from repro.net.aio import AioConnection, Reactor
 from repro.net.faults import FaultInjector
 from repro.net.resilient import (
     BROKEN,
@@ -25,7 +29,9 @@ __all__ = [
     "CONNECTED",
     "RETRYING",
     "FAST_TEST_POLICY",
+    "AioConnection",
     "FaultInjector",
+    "Reactor",
     "ResilientConnection",
     "RetryPolicy",
 ]

@@ -6,6 +6,10 @@ real server and misbehaves on command:
 * ``set_latency`` — delay every forwarded chunk (slow network);
 * ``set_blackhole`` — swallow bytes while keeping connections open
   (the worst failure mode: neither end sees an error);
+* ``set_stall`` — stop *reading* from both ends while keeping
+  connections open, so the peers' kernel send buffers fill and their
+  ``send``/``sendall`` calls wedge (a peer that went catatonic —
+  distinct from blackhole, which still drains the sender);
 * ``sever`` — abruptly close every live connection (peer crash);
 * ``close_after`` — close each new connection after N forwarded bytes,
   guaranteeing a cut mid-message;
@@ -56,6 +60,13 @@ class _Pipe:
     def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
         try:
             while self.alive:
+                # Stall: stop reading entirely.  TCP flow control does
+                # the rest — the peer's send buffer fills and its sends
+                # block, with the connection still "up".
+                while self.alive and self.injector._stalled:
+                    time.sleep(0.01)
+                if not self.alive:
+                    break
                 try:
                     chunk = src.recv(_CHUNK)
                 except OSError:
@@ -108,6 +119,7 @@ class FaultInjector:
 
         self._latency = 0.0
         self._blackhole = False
+        self._stalled = False
         self._garble: dict = {"up": 0, "down": 0}
         self._close_after: Optional[int] = None
 
@@ -185,6 +197,13 @@ class FaultInjector:
 
     def set_blackhole(self, enabled: bool) -> None:
         self._blackhole = enabled
+
+    def set_stall(self, enabled: bool) -> None:
+        """Freeze the proxy: stop reading from both ends (connections
+        stay open).  Peers' sends back up into their kernel buffers and
+        eventually wedge — the failure mode a bounded send timeout
+        exists to catch."""
+        self._stalled = enabled
 
     def sever(self) -> int:
         """Abruptly close every live proxied connection; returns count."""

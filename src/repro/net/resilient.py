@@ -23,6 +23,7 @@ reader notices immediately instead of waiting for TCP timeouts.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 import time
@@ -33,9 +34,9 @@ from repro.errors import ConnectionLostError, ProtocolError, ReproError
 from repro.mgmt.jsonrpc import (
     NotificationDispatcher,
     classify,
+    encode_frame,
     make_request,
     recv_message,
-    send_message,
 )
 from repro.net.retry import RetryPolicy
 
@@ -204,8 +205,8 @@ class ResilientConnection:
                 with self._sock_lock:
                     sock = self.sock
                 with self._send_lock:
-                    send_message(
-                        sock, make_request(method, params, request_id)
+                    self._send_bounded(
+                        sock, make_request(method, params, request_id), method
                     )
             except OSError as exc:
                 with self._pending_lock:
@@ -231,6 +232,45 @@ class ResilientConnection:
             if pending.error is not None:
                 raise self.error_type(str(pending.error))
             return pending.result
+
+    def _send_bounded(self, sock, message: dict, method: str) -> None:
+        """``sendall`` with a stall bound.
+
+        A peer that accepted the connection but stopped reading lets
+        the kernel send buffer fill; a bare ``sendall`` then blocks the
+        caller forever (the reader thread sees nothing wrong — the
+        connection is "up", just wedged).  Instead, wait for
+        writability with ``select`` and send chunk by chunk under a
+        deadline from ``RetryPolicy.send_timeout`` (default: the call
+        timeout).  Expiry raises ``socket.timeout`` — an ``OSError`` —
+        so the caller's transport-failure path aborts the socket into
+        reconnect exactly as for any other send failure.
+        """
+        timeout = self.policy.send_timeout
+        if timeout is None:
+            timeout = self.policy.call_timeout
+        deadline = time.monotonic() + timeout
+        view = memoryview(encode_frame(message))
+        while view.nbytes:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout(
+                    f"send of {method} stalled for {timeout:.1f}s "
+                    f"(peer not reading)"
+                )
+            try:
+                _, writable, _ = select.select([], [sock], [], remaining)
+            except ValueError as exc:
+                # Socket torn down under us (concurrent abort): surface
+                # as OSError so the caller's transport path handles it.
+                raise OSError(f"socket closed during send: {exc}") from exc
+            if not writable:
+                raise socket.timeout(
+                    f"send of {method} stalled for {timeout:.1f}s "
+                    f"(peer not reading)"
+                )
+            sent = sock.send(view)
+            view = view[sent:]
 
     def _check_usable(self, method: str) -> None:
         """Fail fast instead of blocking when no response can ever come."""

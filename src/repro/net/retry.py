@@ -28,11 +28,19 @@ class RetryPolicy:
     ``jitter``              fraction of each delay randomized away to
                             avoid thundering-herd reconnects;
     ``heartbeat_interval``  seconds between liveness ``echo`` probes
-                            (0 disables the heartbeat thread).
+                            (0 disables the heartbeat thread);
+    ``send_timeout``        seconds a single outbound send may stall
+                            before the socket is aborted into reconnect
+                            (``None`` = fall back to ``call_timeout``).
+                            A peer that accepts the connection but stops
+                            reading lets the kernel send buffer fill;
+                            without this bound ``sendall`` wedges the
+                            caller indefinitely.
     """
 
     connect_timeout: float = 10.0
     call_timeout: float = 30.0
+    send_timeout: Optional[float] = None
     max_reconnect_attempts: Optional[int] = 8
     base_delay: float = 0.05
     max_delay: float = 2.0

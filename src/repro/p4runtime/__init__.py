@@ -10,14 +10,23 @@ contract over the same framed-JSON transport the management plane uses:
   :class:`~repro.p4.simulator.Simulator` (usable in-process, which is
   how a Nerpa *local control plane* embeds into a device);
 * :mod:`repro.p4runtime.server` / :mod:`repro.p4runtime.client` — the
-  remote transport, digest subscriptions included.
+  remote transport, digest subscriptions included;
+* :mod:`repro.p4runtime.aio_client` — the non-blocking client used by
+  the controller's event-loop apply plane (thousands of devices on one
+  shared :class:`~repro.net.aio.Reactor`);
+* :mod:`repro.p4runtime.farm` — a reactor-driven fleet of lightweight
+  devices behind one listener, for fleet-scale tests and benchmarks.
 """
 
+from repro.p4runtime.aio_client import AioP4RuntimeClient
 from repro.p4runtime.api import DeviceService, TableWrite, WriteError
 from repro.p4runtime.client import P4RuntimeClient
+from repro.p4runtime.farm import DeviceFarm
 from repro.p4runtime.server import P4RuntimeServer
 
 __all__ = [
+    "AioP4RuntimeClient",
+    "DeviceFarm",
     "DeviceService",
     "P4RuntimeClient",
     "P4RuntimeServer",

@@ -1,0 +1,247 @@
+"""Non-blocking client for the P4Runtime-style API.
+
+The async sibling of :class:`~repro.p4runtime.client.P4RuntimeClient`:
+the same protocol over an :class:`~repro.net.aio.AioConnection`, so a
+thousand of these cost a thousand selector registrations on one shared
+:class:`~repro.net.aio.Reactor` — not a thousand reader threads.
+
+Two call surfaces:
+
+* the full blocking API of the classic client (``write``,
+  ``read_table``, config epochs, multicast, digest subscriptions) for
+  code that runs off the loop thread — resync tasks, tests;
+* :meth:`apply_batch_async`, the apply plane's hot path: issues one
+  coalesced batch and hands the ack to a callback on the loop thread.
+  The optional ``seq`` pair ``(first, last)`` of the coalesced batch
+  range rides the envelope — existing servers ignore unknown keys, and
+  the :class:`~repro.p4runtime.farm.DeviceFarm` uses it to verify
+  per-device FIFO at fleet scale.
+
+Never issue a blocking method from a reactor callback — it would park
+the loop waiting for a response only the loop can read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeApiError
+from repro.net.aio import AioConnection, Reactor
+from repro.net.retry import RetryPolicy
+from repro.obs.trace import current_update_id, use_update_id
+from repro.p4runtime.api import TableWrite
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+class AioP4RuntimeClient:
+    """Talks to a P4Runtime-style server through a shared reactor."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        reactor: Reactor,
+        timeout: float = _DEFAULT_TIMEOUT,
+        policy: Optional[RetryPolicy] = None,
+        device_hint: Optional[int] = None,
+    ):
+        if policy is None:
+            policy = RetryPolicy(call_timeout=timeout)
+        self.timeout = policy.call_timeout
+        self.reactor = reactor
+        #: When talking to a :class:`~repro.p4runtime.farm.DeviceFarm`
+        #: (one listener serving many devices), the index of the device
+        #: this client drives; bound on every (re)connect.
+        self.device_hint = device_hint
+        self._digest_callback: Optional[
+            Callable[[str, Tuple[int, ...]], None]
+        ] = None
+        self._reconnect_hooks: List[Callable[[], None]] = []
+        self.conn = AioConnection(
+            host,
+            port,
+            reactor,
+            policy=policy,
+            name="p4rt-aio",
+            on_notification=self._handle_notification,
+            on_connect=self._on_transport_connect,
+            error_type=RuntimeApiError,
+        )
+        self.conn.on_reconnect(self._on_transport_reconnect)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def call(self, method: str, params, retryable: bool = False) -> object:
+        return self.conn.call(method, params, retryable=retryable)
+
+    def _handle_notification(self, message: dict) -> None:
+        if message.get("method") != "digest":
+            return
+        callback = self._digest_callback
+        if callback is None:
+            return
+        params = message["params"]
+        name, values = params[0], params[1]
+        uid = params[2] if len(params) > 2 else None
+        if uid is not None:
+            with use_update_id(uid):
+                callback(name, tuple(values))
+        else:
+            callback(name, tuple(values))
+
+    def _on_transport_connect(self, conn: AioConnection) -> None:
+        # Loop thread, on every successful connect: session setup must
+        # be the first frames on the fresh connection, ahead of any
+        # apply traffic already queued — otherwise a batch could reach
+        # the farm before the device binding and land on device 0.
+        # ``conn`` comes from the hook (not ``self.conn``): the first
+        # connect can win the race with the constructor's assignment.
+        if self.device_hint is not None:
+            conn.call_now(
+                "bind_device",
+                [self.device_hint],
+                lambda _r, _e: None,
+                timeout=self.timeout,
+            )
+        if self._digest_callback is not None:
+            conn.call_now(
+                "subscribe_digests",
+                [],
+                lambda _r, _e: None,
+                timeout=self.timeout,
+            )
+
+    def _on_transport_reconnect(self) -> None:
+        # Runs on the reactor's hook pool — blocking calls are fine.
+        for hook in list(self._reconnect_hooks):
+            hook()
+
+    def on_reconnect(self, hook: Callable[[], None]) -> None:
+        self._reconnect_hooks.append(hook)
+
+    def health(self) -> Dict[str, object]:
+        return self.conn.health()
+
+    @property
+    def connected(self) -> bool:
+        return self.conn.connected
+
+    @property
+    def writable(self) -> bool:
+        """False while the connection's send buffer is past its high
+        watermark — callers should park on :meth:`on_drain`."""
+        return self.conn.writable
+
+    @property
+    def send_buffer_bytes(self) -> int:
+        return self.conn.send_buffer_bytes
+
+    def on_drain(self, callback: Callable[[], None]) -> None:
+        self.conn.on_drain(callback)
+
+    # -- the async hot path --------------------------------------------------
+
+    def apply_batch_async(
+        self,
+        updates: Sequence[TableWrite],
+        mcast: Optional[Dict[int, Optional[List[int]]]] = None,
+        update_ids: Optional[Sequence[str]] = None,
+        callback: Optional[Callable] = None,
+        seq: Optional[Tuple[int, int]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Issue one coalesced pipeline batch without blocking.
+
+        ``callback(applied, error)`` fires on the loop thread with the
+        applied-update count or the failure (transport loss, per-call
+        timeout, or a semantic rejection as ``error_type``).
+        """
+        envelope = {
+            "updates": [u.to_wire() for u in updates],
+            "mcast": [
+                [group, list(ports) if ports is not None else None]
+                for group, ports in sorted((mcast or {}).items())
+            ],
+            "update_ids": list(update_ids or ()),
+        }
+        if seq is not None:
+            envelope["seq"] = list(seq)
+
+        def on_response(result, error):
+            if callback is None:
+                return
+            if error is not None:
+                callback(None, error)
+            else:
+                callback((result or {}).get("applied", 0), None)
+
+        self.conn.call_async(
+            "apply_batch",
+            [envelope],
+            on_response,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+
+    # -- blocking API (off-loop threads only) --------------------------------
+
+    def echo(self, payload) -> object:
+        return self.call("echo", payload, retryable=True)
+
+    def write(self, updates: Sequence[TableWrite]) -> int:
+        wires = [u.to_wire() for u in updates]
+        uid = current_update_id()
+        if uid is not None:
+            result = self.call("write", [{"updates": wires, "update_id": uid}])
+        else:
+            result = self.call("write", wires)
+        return result["applied"]
+
+    def apply_batch(
+        self,
+        updates: Sequence[TableWrite],
+        mcast: Optional[Dict[int, Optional[List[int]]]] = None,
+        update_ids: Optional[Sequence[str]] = None,
+    ) -> int:
+        envelope = {
+            "updates": [u.to_wire() for u in updates],
+            "mcast": [
+                [group, list(ports) if ports is not None else None]
+                for group, ports in sorted((mcast or {}).items())
+            ],
+            "update_ids": list(update_ids or ()),
+        }
+        result = self.call("apply_batch", [envelope])
+        return result["applied"]
+
+    def get_config_epoch(self) -> Optional[str]:
+        result = self.call("get_config_epoch", [], retryable=True)
+        return result["epoch"]
+
+    def set_config_epoch(self, epoch: Optional[str]) -> None:
+        self.call("set_config_epoch", [epoch])
+
+    def read_table(self, table: str) -> List[TableWrite]:
+        result = self.call("read_table", [table], retryable=True)
+        return [TableWrite.from_wire(e) for e in result["entries"]]
+
+    def set_multicast_group(self, group_id: int, ports: Sequence[int]) -> None:
+        self.call("set_multicast_group", [group_id, list(ports)])
+
+    def delete_multicast_group(self, group_id: int) -> None:
+        self.call("delete_multicast_group", [group_id])
+
+    def subscribe_digests(
+        self, callback: Callable[[str, Tuple[int, ...]], None]
+    ) -> None:
+        self._digest_callback = callback
+        self.call("subscribe_digests", [])
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "AioP4RuntimeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

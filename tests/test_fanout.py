@@ -1,0 +1,901 @@
+"""The event-loop apply plane: reactor, aio transport, fan-out channels.
+
+Covers the multiplexed stage-3 plane that replaces per-device writer
+threads:
+
+* :class:`~repro.net.aio.Reactor` — cross-thread ``submit``,
+  ``call_later`` timers, callback-error survival;
+* :class:`~repro.net.aio.AioConnection` — blocking and async calls,
+  per-call deadlines, reconnect after a server restart, fail-fast once
+  broken, write-buffer watermarks (and the no-wedge guarantee: parked
+  drain callbacks fire when the transport dies);
+* :class:`~repro.core.fanout.DeviceChannel` — per-device FIFO with at
+  most one operation in flight, error deferral, idempotent completion;
+* the controller on the aio plane — plane selection, fan-out metrics,
+  resync barrier/supersede semantics;
+* **differential threads-vs-aio**: the same churn through both apply
+  planes must produce identical per-device write order (uncoalesced)
+  and identical final tables, including the quarantine and
+  resync/supersede paths;
+* :class:`~repro.p4runtime.farm.DeviceFarm` +
+  :class:`~repro.p4runtime.aio_client.AioP4RuntimeClient` — device
+  routing, receiver-side FIFO verification via batch ``seq`` ranges,
+  and non-blocking slow-device ack delays.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.controller import NerpaController
+from repro.core.fanout import IDLE, DeviceChannel, FanoutPlane
+from repro.core.pipeline import nerpa_build
+from repro.errors import ConnectionLostError, ProtocolError, ReproError
+from repro.mgmt.database import Database
+from repro.mgmt.schema import simple_schema
+from repro.net import RetryPolicy
+from repro.net.aio import AioConnection, Reactor
+from repro.net.resilient import BROKEN, CONNECTED, RETRYING
+from repro.p4.tables import FieldMatch, TableEntry
+from repro.p4runtime.aio_client import AioP4RuntimeClient
+from repro.p4runtime.api import DeviceService, TableWrite
+from repro.p4runtime.farm import DeviceFarm
+from repro.p4runtime.server import P4RuntimeServer
+
+FAST = RetryPolicy(
+    connect_timeout=2.0,
+    call_timeout=5.0,
+    max_reconnect_attempts=100,
+    base_delay=0.01,
+    max_delay=0.1,
+)
+
+SCHEMA = simple_schema(
+    "net", {"PortCfg": {"port": "integer", "out_port": "integer"}}
+)
+
+P4 = """
+header eth_t { bit<48> dst; bit<48> src; bit<16> ethertype; }
+struct headers_t { eth_t eth; }
+struct meta_t { bit<1> pad; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+         inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Ing(inout headers_t hdr, inout meta_t m,
+            inout standard_metadata_t std) {
+    action forward(bit<16> port) { std.egress_spec = port; }
+    action drop() { mark_to_drop(); }
+    table patch {
+        key = { std.ingress_port : exact; }
+        actions = { forward; drop; }
+        default_action = drop();
+    }
+    apply { patch.apply(); }
+}
+"""
+
+RULES = "Patch(p as bit<16>, PatchActionForward{o as bit<16>}) :- PortCfg(_, p, o)."
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_for(predicate, timeout=10.0, what="condition"):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def entry(port, out_port):
+    return TableEntry([FieldMatch.exact(port)], "forward", [out_port])
+
+
+def add_port(db, port, out_port):
+    db.transact(
+        [
+            {
+                "op": "insert",
+                "table": "PortCfg",
+                "row": {"port": port, "out_port": out_port},
+            }
+        ]
+    )
+
+
+def set_out_port(db, port, out_port):
+    db.transact(
+        [
+            {
+                "op": "update",
+                "table": "PortCfg",
+                "where": [["port", "==", port]],
+                "row": {"out_port": out_port},
+            }
+        ]
+    )
+
+
+def del_port(db, port):
+    db.transact(
+        [
+            {
+                "op": "delete",
+                "table": "PortCfg",
+                "where": [["port", "==", port]],
+            }
+        ]
+    )
+
+
+def table_state(sim) -> str:
+    """Canonical dump of a simulator's ``patch`` table."""
+    service = DeviceService(sim)
+    entries = []
+    for e in service.read_table("patch"):
+        entries.append(
+            {
+                "matches": [list(m.key()) for m in e.matches],
+                "action": e.action,
+                "params": list(e.action_params),
+                "priority": e.priority,
+            }
+        )
+    entries.sort(key=lambda e: json.dumps(e, sort_keys=True, default=str))
+    return json.dumps(entries, sort_keys=True, default=str)
+
+
+class _SilentPeer:
+    """Accepts TCP connections and never replies (nor sends).
+
+    The pathological-but-real peer the aio transport must survive:
+    per-call deadlines, heartbeat detection, and write-buffer
+    watermarks are all exercised against it.
+    """
+
+    def __init__(self):
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(64)
+        self.address = self.listener.getsockname()[:2]
+        self.conns = []
+        self.alive = True
+        self._thread = threading.Thread(target=self._accept, daemon=True)
+        self._thread.start()
+
+    def _accept(self):
+        while self.alive:
+            try:
+                sock, _ = self.listener.accept()
+            except OSError:
+                return
+            self.conns.append(sock)
+
+    def stop(self):
+        self.alive = False
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+        for sock in self.conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Reactor.
+# ---------------------------------------------------------------------------
+
+
+class TestReactor:
+    def test_submit_runs_on_loop_thread(self):
+        reactor = Reactor("t-submit").start()
+        try:
+            box = {}
+            done = threading.Event()
+
+            def probe():
+                box["in_loop"] = reactor.in_loop()
+                done.set()
+
+            assert reactor.submit(probe)
+            assert done.wait(5.0)
+            assert box["in_loop"] is True
+            assert not reactor.in_loop()  # the test thread is not the loop
+        finally:
+            reactor.stop()
+
+    def test_call_later_fires_and_cancel_prevents(self):
+        reactor = Reactor("t-timer").start()
+        try:
+            fired = threading.Event()
+            never = threading.Event()
+            started = time.monotonic()
+            reactor.call_later(0.05, fired.set)
+            doomed = reactor.call_later(0.05, never.set)
+            doomed.cancel()
+            assert fired.wait(5.0)
+            assert time.monotonic() - started >= 0.04
+            time.sleep(0.1)
+            assert not never.is_set()
+        finally:
+            reactor.stop()
+
+    def test_submit_after_stop_returns_false(self):
+        reactor = Reactor("t-stopped").start()
+        reactor.stop()
+        assert reactor.submit(lambda: None) is False
+        timer = reactor.call_later(0.0, lambda: None)
+        assert timer.cancelled
+
+    def test_callback_error_does_not_kill_loop(self):
+        reactor = Reactor("t-survive").start()
+        try:
+            boom = RuntimeError("injected callback failure")
+
+            def bad():
+                raise boom
+
+            reactor.submit(bad)
+            survived = threading.Event()
+            reactor.submit(survived.set)
+            assert survived.wait(5.0)
+            assert reactor.last_callback_error is boom
+        finally:
+            reactor.stop()
+
+
+# ---------------------------------------------------------------------------
+# AioConnection.
+# ---------------------------------------------------------------------------
+
+
+def sim_and_server(port=0):
+    project = nerpa_build(SCHEMA, RULES, P4)
+    sim = project.new_simulator(n_ports=16)
+    server = P4RuntimeServer(sim, port=port).start()
+    return sim, server, server.address[1]
+
+
+class TestAioConnection:
+    def test_blocking_call_round_trip(self):
+        reactor = Reactor("t-call").start()
+        sim, server, port = sim_and_server()
+        conn = AioConnection("127.0.0.1", port, reactor, policy=FAST)
+        try:
+            assert conn.wait_connected(5.0)
+            assert conn.call("echo", ["hello"], retryable=True) == ["hello"]
+            health = conn.health()
+            assert health["state"] == CONNECTED
+            assert health["send_buffer_bytes"] == 0
+        finally:
+            conn.close()
+            server.stop()
+            reactor.stop()
+
+    def test_call_async_resolves_on_loop_thread(self):
+        reactor = Reactor("t-async").start()
+        sim, server, port = sim_and_server()
+        conn = AioConnection("127.0.0.1", port, reactor, policy=FAST)
+        try:
+            assert conn.wait_connected(5.0)
+            box = {}
+            done = threading.Event()
+
+            def cb(result, error):
+                box["result"] = result
+                box["error"] = error
+                box["in_loop"] = reactor.in_loop()
+                done.set()
+
+            conn.call_async("echo", [1, 2], cb)
+            assert done.wait(5.0)
+            assert box["error"] is None
+            assert box["result"] == [1, 2]
+            assert box["in_loop"] is True
+        finally:
+            conn.close()
+            server.stop()
+            reactor.stop()
+
+    def test_per_call_deadline_fires_without_breaking_connection(self):
+        peer = _SilentPeer()
+        reactor = Reactor("t-deadline").start()
+        conn = AioConnection(
+            "127.0.0.1", peer.address[1], reactor, policy=FAST
+        )
+        try:
+            assert conn.wait_connected(5.0)
+            with pytest.raises(ProtocolError, match="timeout"):
+                conn.call("echo", ["never answered"], timeout=0.2)
+            # A per-call deadline is the caller's problem, not a
+            # transport fault: the connection stays usable.
+            assert conn.state == CONNECTED
+        finally:
+            conn.close()
+            reactor.stop()
+            peer.stop()
+
+    def test_call_fails_fast_while_reconnecting(self):
+        reactor = Reactor("t-fastfail").start()
+        port = free_port()  # nothing listening
+        conn = AioConnection(
+            "127.0.0.1",
+            port,
+            reactor,
+            policy=RetryPolicy(
+                connect_timeout=0.5,
+                call_timeout=1.0,
+                max_reconnect_attempts=2,
+                base_delay=0.01,
+                max_delay=0.02,
+            ),
+        )
+        try:
+            wait_for(
+                lambda: conn.state == BROKEN, what="retries to exhaust"
+            )
+            started = time.monotonic()
+            with pytest.raises(ConnectionLostError):
+                conn.call("echo", ["no peer"])
+            assert time.monotonic() - started < 0.5  # no timeout burned
+            assert conn.retry_count >= 1
+        finally:
+            conn.close()
+            reactor.stop()
+
+    @pytest.mark.slow
+    def test_reconnects_after_server_restart(self):
+        reactor = Reactor("t-reconnect").start()
+        port = free_port()
+        sim, server, _ = sim_and_server(port=port)
+        conn = AioConnection("127.0.0.1", port, reactor, policy=FAST)
+        hook_ran = threading.Event()
+        conn.on_reconnect(hook_ran.set)
+        try:
+            assert conn.wait_connected(5.0)
+            server.stop()
+            wait_for(
+                lambda: conn.state == RETRYING, what="loss detection"
+            )
+            server = P4RuntimeServer(sim, port=port).start()
+            wait_for(
+                lambda: conn.state == CONNECTED and conn.reconnects >= 1,
+                what="reconnect",
+            )
+            assert hook_ran.wait(5.0)
+            assert conn.call("echo", ["back"], retryable=True) == ["back"]
+            assert RETRYING in conn.transitions
+        finally:
+            conn.close()
+            server.stop()
+            reactor.stop()
+
+    @pytest.mark.slow
+    def test_heartbeat_detects_unresponsive_peer(self):
+        peer = _SilentPeer()
+        reactor = Reactor("t-hb").start()
+        conn = AioConnection(
+            "127.0.0.1",
+            peer.address[1],
+            reactor,
+            policy=RetryPolicy(
+                connect_timeout=1.0,
+                call_timeout=5.0,
+                heartbeat_interval=0.1,
+                max_reconnect_attempts=100,
+                base_delay=0.01,
+                max_delay=0.05,
+            ),
+        )
+        try:
+            assert conn.wait_connected(5.0)
+            # The peer accepts but never answers the heartbeat echo —
+            # only the probe can notice; no caller is blocked.
+            wait_for(
+                lambda: conn.retry_count >= 1,
+                what="heartbeat to detect the dead peer",
+            )
+            assert RETRYING in conn.transitions
+        finally:
+            conn.close()
+            reactor.stop()
+            peer.stop()
+
+    def test_watermark_blocks_writable_and_teardown_fires_drain(self):
+        peer = _SilentPeer()
+        reactor = Reactor("t-watermark").start()
+        conn = AioConnection(
+            "127.0.0.1",
+            peer.address[1],
+            reactor,
+            policy=FAST,
+            high_watermark=1024,
+            low_watermark=256,
+        )
+        try:
+            assert conn.wait_connected(5.0)
+            failures = []
+            acked = threading.Event()
+
+            def cb(result, error):
+                failures.append(error)
+                acked.set()
+
+            # Far more than the kernel will buffer for a peer that
+            # never reads: the outbound buffer must cross the high
+            # watermark and stay there.
+            conn.call_async("echo", ["x" * (4 * 1024 * 1024)], cb)
+            wait_for(lambda: not conn.writable, what="watermark")
+            assert conn.send_buffer_bytes > 1024
+
+            drained = threading.Event()
+            conn.on_drain(drained.set)
+            time.sleep(0.05)
+            assert not drained.is_set()  # genuinely parked
+
+            # The no-wedge guarantee: tearing down the transport fires
+            # parked drain callbacks (buffer is gone), so flow-blocked
+            # producers fail fast instead of hanging forever.
+            conn.close()
+            assert drained.wait(5.0)
+            assert acked.wait(5.0)
+            assert isinstance(failures[0], ConnectionLostError)
+        finally:
+            conn.close()
+            reactor.stop()
+            peer.stop()
+
+
+# ---------------------------------------------------------------------------
+# DeviceChannel.
+# ---------------------------------------------------------------------------
+
+
+class _Op:
+    """Distinct (non-mergeable) queue item."""
+
+    def __init__(self, n):
+        self.n = n
+
+
+class TestDeviceChannel:
+    def test_fifo_with_at_most_one_in_flight(self):
+        plane = FanoutPlane(max_blocking_workers=4)
+        order = []
+        concurrent = []
+        active = [0]
+        lock = threading.Lock()
+
+        def runner(channel, item, done):
+            def work():
+                with lock:
+                    active[0] += 1
+                    concurrent.append(active[0])
+                time.sleep(0.002)
+                order.append(item.n)
+                with lock:
+                    active[0] -= 1
+                done(None)
+
+            plane.run_blocking(work)
+
+        try:
+            channel = plane.channel(None, runner, name="dev")
+            channel.start()
+            for n in range(20):
+                channel.queue.put(_Op(n))
+            channel.queue.join(time.monotonic() + 10.0)
+            assert order == list(range(20))
+            assert max(concurrent) == 1  # FIFO's mechanism, verified
+            assert plane.inflight == 0
+            wait_for(lambda: channel.state == IDLE, what="idle state")
+        finally:
+            plane.stop()
+
+    def test_runner_error_deferred_and_channel_continues(self):
+        errors = []
+        plane = FanoutPlane(max_blocking_workers=2, on_error=errors.append)
+        seen = []
+
+        def runner(channel, item, done):
+            if item.n == 0:
+                raise RuntimeError("injected runner failure")
+            seen.append(item.n)
+            done(None)
+
+        try:
+            channel = plane.channel(None, runner, name="dev")
+            channel.start()
+            channel.queue.put(_Op(0))
+            channel.queue.put(_Op(1))
+            channel.queue.join(time.monotonic() + 10.0)
+            assert seen == [1]
+            assert len(errors) == 1
+            assert "injected" in str(errors[0])
+        finally:
+            plane.stop()
+
+    def test_completion_is_idempotent(self):
+        plane = FanoutPlane(max_blocking_workers=2)
+        runs = []
+
+        def runner(channel, item, done):
+            runs.append(item.n)
+            done(None)
+            done(RuntimeError("second call must be ignored"))
+
+        try:
+            channel = plane.channel(None, runner, name="dev")
+            channel.start()
+            channel.queue.put(_Op(0))
+            channel.queue.put(_Op(1))
+            channel.queue.join(time.monotonic() + 10.0)
+            assert runs == [0, 1]
+            assert plane.inflight == 0
+        finally:
+            plane.stop()
+
+
+# ---------------------------------------------------------------------------
+# The controller on the aio plane.
+# ---------------------------------------------------------------------------
+
+
+def build():
+    project = nerpa_build(SCHEMA, RULES, P4)
+    db = Database(project.schema)
+    switch = project.new_simulator(n_ports=16)
+    return project, db, switch
+
+
+class TestControllerAioPlane:
+    def test_unknown_plane_rejected(self):
+        project, db, switch = build()
+        with pytest.raises(ReproError, match="unknown apply plane"):
+            NerpaController(project, db, [switch], apply_plane="fibers")
+
+    def test_aio_plane_metrics_and_quiescence(self):
+        project, db, switch = build()
+        controller = NerpaController(project, db, [switch]).start()
+        try:
+            for port in range(4):
+                add_port(db, port, port + 1)
+            controller.drain()
+            assert len(switch.table("patch")) == 4
+            fanout = controller.metrics()["pipeline"]["fanout"]
+            assert fanout["plane"] == "aio"
+            assert fanout["inflight"] == 0
+            assert fanout["channel_states"] == {IDLE: 1}
+        finally:
+            controller.stop()
+
+    def test_threads_plane_still_available(self):
+        project, db, switch = build()
+        controller = NerpaController(
+            project, db, [switch], apply_plane="threads"
+        ).start()
+        try:
+            for port in range(4):
+                add_port(db, port, port + 1)
+            controller.drain()
+            assert len(switch.table("patch")) == 4
+            assert "fanout" not in controller.metrics()["pipeline"]
+        finally:
+            controller.stop()
+
+    def test_resync_supersedes_queued_batches_on_aio_plane(self):
+        project, db, switch = build()
+        slow_sim = project.new_simulator(n_ports=16)
+        slow = _SlowService(slow_sim, delay=0.15)
+        controller = NerpaController(project, db, [slow]).start()
+        try:
+            controller.drain()
+            # Burst behind the slow device, then resync: the full sync
+            # is a barrier task superseding the queued batches.
+            for port in range(6):
+                add_port(db, port, port + 1)
+            controller.resync_device(0)
+            controller.drain()
+            assert len(slow_sim.table("patch")) == 6
+            assert controller.device_resyncs >= 1
+        finally:
+            controller.stop()
+
+
+# ---------------------------------------------------------------------------
+# Differential: threads plane vs aio plane.
+# ---------------------------------------------------------------------------
+
+
+class _RecordingService(DeviceService):
+    """Device that records the order writes arrive in."""
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self.log = []
+
+    def apply_batch(self, updates, mcast=None):
+        self.log.append(
+            [(u.kind, tuple(u.entry.action_params)) for u in updates]
+        )
+        return super().apply_batch(updates, mcast)
+
+
+class _SlowService(DeviceService):
+    def __init__(self, sim, delay):
+        super().__init__(sim)
+        self.delay = delay
+
+    def apply_batch(self, updates, mcast=None):
+        time.sleep(self.delay)
+        return super().apply_batch(updates, mcast)
+
+
+class _FlakyService(DeviceService):
+    """Raises transport errors until told to heal."""
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self.failing = True
+        self.failures = 0
+
+    def apply_batch(self, updates, mcast=None):
+        if self.failing:
+            self.failures += 1
+            raise OSError("injected device transport failure")
+        return super().apply_batch(updates, mcast)
+
+
+def churn(db):
+    for port in range(8):
+        add_port(db, port, port + 1)
+    for port in range(0, 8, 2):
+        set_out_port(db, port, port + 10)
+    del_port(db, 3)
+    del_port(db, 5)
+    set_out_port(db, 1, 42)
+
+
+class TestDifferentialPlanes:
+    def run_uncoalesced(self, plane):
+        project = nerpa_build(SCHEMA, RULES, P4)
+        db = Database(project.schema)
+        sims = [project.new_simulator(n_ports=16) for _ in range(2)]
+        services = [_RecordingService(sim) for sim in sims]
+        controller = NerpaController(
+            project, db, services, coalesce=False, apply_plane=plane
+        ).start()
+        try:
+            churn(db)
+            controller.drain()
+        finally:
+            controller.stop()
+        return (
+            [svc.log for svc in services],
+            [table_state(sim) for sim in sims],
+        )
+
+    def test_same_write_order_and_final_tables(self):
+        """With coalescing off every engine transaction is its own wire
+        write, so the two planes must agree *batch for batch* — not
+        just on the final tables."""
+        logs_threads, tables_threads = self.run_uncoalesced("threads")
+        logs_aio, tables_aio = self.run_uncoalesced("aio")
+        assert logs_aio == logs_threads
+        assert tables_aio == tables_threads
+        # And the order is non-trivial: writes actually happened.
+        assert sum(len(log) for log in logs_aio) > 0
+
+    def run_quarantine(self, plane):
+        project = nerpa_build(SCHEMA, RULES, P4)
+        db = Database(project.schema)
+        healthy_sim = project.new_simulator(n_ports=16)
+        flaky_sim = project.new_simulator(n_ports=16)
+        flaky = _FlakyService(flaky_sim)
+        controller = NerpaController(
+            project,
+            db,
+            [healthy_sim, flaky],
+            breaker_threshold=2,
+            coalesce=False,
+            apply_plane=plane,
+        ).start()
+        try:
+            flaky_dev = controller.devices[1]
+            for n in range(1, 7):
+                add_port(db, n, n + 1)
+                # Pace the churn so each failed batch is its own
+                # breaker strike on both planes.
+                wait_for(
+                    lambda n=n: flaky_dev.quarantined
+                    or flaky_dev.consecutive_failures >= min(n, 2)
+                    or flaky_dev.syncs_missed >= n,
+                    what="write attempt to resolve",
+                )
+            controller.drain()
+            quarantined_during = flaky_dev.quarantined
+            missed = flaky_dev.syncs_missed
+            # Heal the device, then recover it through the resync
+            # (barrier + supersede) path.
+            flaky.failing = False
+            controller.resync_device(1)
+            controller.drain()
+            return {
+                "quarantined_during": quarantined_during,
+                "missed_some": missed > 0,
+                "recovered": not flaky_dev.quarantined,
+                "healthy_table": table_state(healthy_sim),
+                "flaky_table": table_state(flaky_sim),
+            }
+        finally:
+            controller.stop()
+
+    @pytest.mark.slow
+    def test_quarantine_and_recovery_identical_across_planes(self):
+        threads = self.run_quarantine("threads")
+        aio = self.run_quarantine("aio")
+        assert aio == threads
+        assert aio["quarantined_during"] is True
+        assert aio["recovered"] is True
+        # After recovery both devices converged to the same state.
+        assert aio["flaky_table"] == aio["healthy_table"]
+
+
+# ---------------------------------------------------------------------------
+# DeviceFarm + AioP4RuntimeClient.
+# ---------------------------------------------------------------------------
+
+
+class TestDeviceFarm:
+    def test_bind_routes_calls_to_the_hinted_device(self):
+        reactor = Reactor("t-farm").start()
+        farm = DeviceFarm(3).start()
+        try:
+            host, port = farm.address
+            client = AioP4RuntimeClient(
+                host, port, reactor, policy=FAST, device_hint=2
+            )
+            assert client.conn.wait_connected(5.0)
+            applied = client.apply_batch(
+                [TableWrite.insert("patch", entry(1, 5))],
+                update_ids=["epoch-1"],
+            )
+            assert applied == 1
+            assert farm.devices[2].updates_applied == 1
+            assert farm.devices[0].updates_applied == 0
+            assert farm.devices[2].epoch == "epoch-1"
+            assert client.get_config_epoch() == "epoch-1"
+            entries = client.read_table("patch")
+            assert len(entries) == 1
+            assert list(entries[0].entry.action_params) == [5]
+            client.set_multicast_group(7, [1, 2])
+            assert farm.devices[2].mcast[7] == [1, 2]
+            client.delete_multicast_group(7)
+            assert 7 not in farm.devices[2].mcast
+            client.close()
+        finally:
+            farm.stop()
+            reactor.stop()
+
+    def test_seq_ranges_verify_fifo_at_the_receiver(self):
+        reactor = Reactor("t-seq").start()
+        farm = DeviceFarm(1).start()
+        try:
+            host, port = farm.address
+            client = AioP4RuntimeClient(
+                host, port, reactor, policy=FAST, device_hint=0
+            )
+            assert client.conn.wait_connected(5.0)
+
+            def send_seq(seq):
+                done = threading.Event()
+                client.apply_batch_async(
+                    [], callback=lambda *_: done.set(), seq=seq
+                )
+                assert done.wait(5.0)
+
+            send_seq((1, 3))
+            send_seq((4, 4))
+            assert farm.total_fifo_violations() == 0
+            send_seq((7, 9))  # supersede skipped 5-6: legal
+            assert farm.total_fifo_violations() == 0
+            send_seq((9, 10))  # rewinds into an acked range: violation
+            assert farm.total_fifo_violations() == 1
+            assert farm.devices[0].last_seq == 10
+            client.close()
+        finally:
+            farm.stop()
+            reactor.stop()
+
+    def test_slow_device_ack_delay_does_not_block_the_farm(self):
+        reactor = Reactor("t-slowfarm").start()
+        farm = DeviceFarm(2).start()
+        farm.set_ack_delay(0, 0.4)
+        try:
+            host, port = farm.address
+            slow = AioP4RuntimeClient(
+                host, port, reactor, policy=FAST, device_hint=0
+            )
+            fast = AioP4RuntimeClient(
+                host, port, reactor, policy=FAST, device_hint=1
+            )
+            assert slow.conn.wait_connected(5.0)
+            assert fast.conn.wait_connected(5.0)
+            slow_done = threading.Event()
+            started = time.monotonic()
+            slow.apply_batch_async(
+                [TableWrite.insert("patch", entry(1, 5))],
+                callback=lambda *_: slow_done.set(),
+            )
+            # A call to the healthy device completes while the slow
+            # device's ack is still parked on a farm timer.
+            fast.apply_batch([TableWrite.insert("patch", entry(1, 6))])
+            fast_elapsed = time.monotonic() - started
+            assert fast_elapsed < 0.3
+            assert slow_done.wait(5.0)
+            assert time.monotonic() - started >= 0.35
+            assert farm.devices[0].updates_applied == 1
+            slow.close()
+            fast.close()
+        finally:
+            farm.stop()
+            reactor.stop()
+
+
+class TestControllerAgainstFarm:
+    """The real thing end to end: a controller whose stage 3 drives
+    reactor-backed clients against a reactor-backed fleet."""
+
+    @pytest.mark.slow
+    def test_churn_converges_with_fifo_verified_at_the_devices(self):
+        n_devices = 8
+        project = nerpa_build(SCHEMA, RULES, P4)
+        db = Database(project.schema)
+        reactor = Reactor("t-ctrl-farm").start()
+        farm = DeviceFarm(n_devices).start()
+        host, port = farm.address
+        clients = [
+            AioP4RuntimeClient(
+                host, port, reactor, policy=FAST, device_hint=i
+            )
+            for i in range(n_devices)
+        ]
+        controller = NerpaController(
+            project, db, clients, reactor=reactor
+        ).start()
+        try:
+            churn(db)
+            controller.drain()
+            states = {
+                json.dumps(d.table_snapshot(), sort_keys=True)
+                for d in farm.devices
+            }
+            assert len(states) == 1  # every device saw the same world
+            assert farm.devices[0].tables["patch"]  # and it is non-empty
+            assert farm.total_fifo_violations() == 0
+            assert farm.total_batches() >= n_devices
+            fanout = controller.metrics()["pipeline"]["fanout"]
+            assert fanout["plane"] == "aio"
+            assert fanout["inflight"] == 0
+            assert set(fanout["send_buffer_bytes"]) == {
+                f"device-{i}" for i in range(n_devices)
+            }
+        finally:
+            controller.stop()
+            for client in clients:
+                client.close()
+            farm.stop()
+            reactor.stop()

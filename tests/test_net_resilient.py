@@ -274,6 +274,49 @@ class TestFaultInjector:
             injector.stop()
 
     @pytest.mark.slow
+    def test_stalled_peer_bounds_send_and_recovers(self):
+        """Regression: a peer that accepts the connection but stops
+        *reading* used to wedge ``sendall`` indefinitely once TCP flow
+        control filled the socket buffers — the caller froze inside the
+        send, where neither the call timeout nor the heartbeat could
+        reach it.  The bounded send path must give up after
+        ``send_timeout`` and abort the socket into reconnect."""
+        db = make_db()
+        with ManagementServer(db) as srv:
+            injector = FaultInjector(*srv.address, port=free_port()).start()
+            policy = RetryPolicy(
+                connect_timeout=2.0,
+                call_timeout=30.0,  # NOT what bounds the wedge
+                send_timeout=0.5,
+                max_reconnect_attempts=60,
+                base_delay=0.01,
+                max_delay=0.05,
+            )
+            client = ManagementClient(*injector.address, policy=policy)
+            assert client.echo(["warm"]) == ["warm"]
+            injector.set_stall(True)
+            # Big enough to overrun the kernel socket buffers on
+            # loopback, so the send genuinely blocks on flow control.
+            payload = "x" * (32 * 1024 * 1024)
+            started = time.time()
+            with pytest.raises(ConnectionLostError) as excinfo:
+                client.conn.call("echo", [payload], retryable=False)
+            elapsed = time.time() - started
+            assert elapsed < 10.0  # bounded by send_timeout, not wedged
+            # The raised error carries the send-stall cause; last_error
+            # may already reflect the aborted reader racing past it.
+            assert "stalled" in str(excinfo.value)
+            injector.set_stall(False)
+            wait_for(
+                lambda: client.conn.state == CONNECTED
+                and client.conn.reconnects >= 1,
+                what="reconnect after stalled send",
+            )
+            assert client.echo(["post"]) == ["post"]
+            client.close()
+            injector.stop()
+
+    @pytest.mark.slow
     def test_garbled_length_prefix_triggers_reconnect(self):
         db = make_db()
         with ManagementServer(db) as srv:

@@ -309,6 +309,44 @@ class TestCoalescingQueue:
         assert done.is_set()
         assert q.unfinished == 0
 
+    def test_producer_woken_from_backpressure_recoalesces_tail(self):
+        """Regression: a producer blocked on a full queue must re-run
+        the tail-coalesce check when it wakes — the tail it saw before
+        sleeping may have been popped and replaced by a mergeable one.
+        Appending unconditionally gave the burst a second distinct slot
+        (= a spurious extra wire write)."""
+        q = CoalescingQueue(maxlen=2)
+        q.put(_Barrier())
+        q.put(_Barrier())  # full; neither merges with an _Item
+
+        started = threading.Event()
+
+        def blocked_put():
+            started.set()
+            q.put(_Item(1))
+
+        t = threading.Thread(target=blocked_put, daemon=True)
+        t.start()
+        started.wait(2.0)
+        wait_for(
+            lambda: q._not_full._waiters, what="producer to block on full"
+        )
+        # While the producer sleeps: the consumer drains both barriers
+        # and another producer appends a mergeable tail.  Do it all
+        # under the queue lock so the blocked producer cannot observe
+        # any intermediate state — it wakes to exactly this picture.
+        with q._lock:
+            q._items.clear()
+            q._unfinished -= 2
+            q._items.append(_Item(0))
+            q._unfinished += 1
+            q._not_full.notify_all()
+        t.join(2.0)
+        assert not t.is_alive()
+        assert len(q) == 1
+        assert q.coalesced == 1
+        assert q.pop().values == [0, 1]
+
     def test_close_unblocks_consumer(self):
         q = CoalescingQueue()
         result = []
