@@ -8,7 +8,7 @@ the port-add sync path.
 
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.apps.snvs import SnvsNetwork, build_snvs
 from repro.core.controller import NerpaController
 from repro.mgmt.client import ManagementClient
@@ -92,5 +92,9 @@ def test_a3_transport_overhead(benchmark):
 
     # The wire costs something but stays the same order of magnitude as
     # the paper's 13-18 ms end-to-end numbers; and in-process is faster.
+    emit(
+        "a3", "tcp_sync_latency", "mean_seconds",
+        round(remote, 6), threshold=0.05,
+    )
     assert remote > local
     assert remote < 0.05  # well under the paper's measured absolute latency

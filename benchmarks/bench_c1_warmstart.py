@@ -18,9 +18,13 @@ acceptance bar is warm >= 5x faster than cold.
 
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.dlog import compile_program
-from repro.dlog.checkpoint import load_checkpoint, save_checkpoint
+from repro.dlog.checkpoint import (
+    CheckpointStore,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.workloads.loadbalancer import LB_DLOG_PROGRAM, LoadBalancerWorkload
 
 WORKLOAD = dict(n_lbs=20, backends_per_lb=50, n_switches=8)
@@ -78,4 +82,69 @@ def test_c1_warm_restart_vs_cold(benchmark, tmp_path):
     restored.transaction(deletes={"LbVip": [(0, lb0[0], lb0[1][0])]})
     assert len(restored.dump("NatEntry")) == entries - WORKLOAD["n_switches"]
 
+    emit(
+        "c1", "warm_restart_vs_cold", "speedup_x",
+        round(speedup, 2), threshold=5.0,
+    )
     assert speedup >= 5.0
+
+
+def test_c1_delta_checkpoint_cost_tracks_churn(benchmark, tmp_path):
+    """Steady-state persistence: at ~1% churn per save interval, a
+    delta segment must be >= 5x cheaper (bytes written) than a full
+    snapshot — and the restored chain must equal the live runtime."""
+    workload = LoadBalancerWorkload(**WORKLOAD)
+    vips, attach = workload.cold_start_rows()
+    program = compile_program(LB_DLOG_PROGRAM)
+    runtime = program.start()
+    runtime.transaction(inserts={"LbVip": vips, "LbSwitch": attach})
+
+    store = CheckpointStore(
+        str(tmp_path), "engine.ckpt", program.program_hash
+    )
+    runtime.enable_journal()
+    full_started = time.perf_counter()
+    full_bytes = store.save_full(runtime.checkpoint(), runtime.txn_count)
+    full_seconds = time.perf_counter() - full_started
+
+    # ~1% of the input rows churn between saves: delete + re-insert.
+    churn = vips[: max(1, len(vips) // 100)]
+    runtime.transaction(deletes={"LbVip": churn})
+    runtime.transaction(inserts={"LbVip": churn})
+
+    def save_delta():
+        return store.save_delta(
+            runtime.drain_journal(), runtime.txn_count
+        )
+
+    delta_started = time.perf_counter()
+    delta_bytes = benchmark.pedantic(save_delta, rounds=1, iterations=1)
+    delta_seconds = time.perf_counter() - delta_started
+    ratio = full_bytes / max(delta_bytes, 1)
+
+    # The chain round-trips: full + segment restores the live state.
+    full, segments = store.load_chain(lambda f: f["txn_count"])
+    restored = program.start(
+        checkpoint={"delta_chain": True, "full": full, "segments": segments}
+    )
+    assert restored.restored
+    assert restored.dump("NatEntry") == runtime.dump("NatEntry")
+    assert restored.txn_count == runtime.txn_count
+
+    report(
+        f"C1: delta checkpoint at ~1% churn ({len(churn)} of "
+        f"{len(vips)} input rows)",
+        [
+            ("full snapshot", f"{full_bytes / 1e6:.2f} MB", ""),
+            ("full save time", f"{full_seconds * 1e3:.1f} ms", ""),
+            ("delta segment", f"{delta_bytes / 1e3:.1f} KB", ""),
+            ("delta save time", f"{delta_seconds * 1e3:.1f} ms", ""),
+            ("bytes ratio", f"{ratio:.1f}x", "gate: >= 5x"),
+        ],
+        ["metric", "measured", "reference"],
+    )
+    emit(
+        "c1", "delta_vs_full_checkpoint_bytes", "ratio_x",
+        round(ratio, 2), threshold=5.0,
+    )
+    assert ratio >= 5.0

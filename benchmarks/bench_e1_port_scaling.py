@@ -11,7 +11,7 @@ grows (the paper's first/last ratio is 1.38x).  Absolute numbers differ
 *flatness* is the incrementality claim.
 """
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.analysis.stats import mean, percentile
 from repro.apps.snvs import SnvsNetwork
 from repro.workloads.ports import port_add_stream
@@ -55,6 +55,14 @@ def test_e1_port_scaling(benchmark):
     )
 
     assert len(net.switch.table("in_vlan")) == N_PORTS
+    emit(
+        "e1", "tail_head_latency_ratio", "ratio_x",
+        round(tail / head, 2), threshold=5.0,
+    )
+    emit(
+        "e1", "sync_latency_p99", "seconds",
+        round(percentile(latencies, 99), 6),
+    )
     # Incrementality: windowed latency growth stays small even after
     # 2,000 ports (allow generous slack for interpreter noise).
     assert tail / head < 5.0

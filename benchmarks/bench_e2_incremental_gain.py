@@ -14,7 +14,7 @@ incremental work is O(change) while recompute is O(network).
 
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.baselines.full_recompute import FullRecomputeController
 from repro.dlog import compile_program
 
@@ -112,6 +112,10 @@ def test_e2_incremental_vs_recompute(benchmark):
         ["metric", "measured", "reference"],
     )
 
+    emit(
+        "e2", "incremental_latency_gain", "speedup_x",
+        round(latency_gain, 2), threshold=3.0,
+    )
     assert latency_gain >= 3.0
     # CPU gain equals latency gain for serial execution; the paper's
     # 20x came from a 10x larger deployment — require at least 3x here.

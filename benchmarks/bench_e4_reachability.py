@@ -20,7 +20,7 @@ reproduce:
 import inspect
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.analysis.loc import count_loc
 from repro.baselines import reachability as reach_module
 from repro.baselines.reachability import NaiveReachability
@@ -112,6 +112,10 @@ def test_e4_localized_changes_scale(benchmark):
     )
     # Work ~ |modified state| (the affected subtree, ~O(log n) expected),
     # not the graph; recompute tracks the graph.
+    emit(
+        "e4", "incremental_vs_recompute_largest", "speedup_x",
+        round(rows[-1][2] / rows[-1][1], 2), threshold=3.0,
+    )
     assert inc_growth < size_growth / 2
     assert naive_growth > inc_growth
     assert rows[-1][2] / rows[-1][1] >= 3  # large graphs: clear win

@@ -13,7 +13,7 @@ check the §2.1 claim: the incremental controller's cost tracks the
 
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.baselines.full_recompute import FullRecomputeController
 from repro.dlog import compile_program
 from repro.workloads.churn import robotron_churn
@@ -120,6 +120,10 @@ def test_e5_robotron_churn(benchmark):
     )
     # Incremental cost ~ churn (flat in network size, generous bound);
     # recompute cost ~ network size.
+    emit(
+        "e5", "incremental_vs_recompute_2000_ports", "speedup_x",
+        round(full_large / inc_large, 2), threshold=5.0,
+    )
     assert inc_large / inc_small < 2.5
     assert full_large / full_small > 2.0
     assert full_large / inc_large > 5.0

@@ -33,7 +33,7 @@ import json
 import threading
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.analysis.stats import percentile
 from repro.core.controller import NerpaController
 from repro.core.pipeline import nerpa_build
@@ -290,6 +290,10 @@ def test_f1_threaded_vs_multiplexed(benchmark, bench_seed, require_nofile):
         assert stats["batches"] >= n_devices
     # Receiver-side FIFO (seq ranges ride only the async envelope).
     assert multiplexed["fifo_violations"] == 0
+    emit(
+        "f1", "multiplexed_peak_threads_100dev", "threads",
+        multiplexed["peak_threads"], threshold=24,
+    )
     # The structural claim: ~3 OS threads per device vs a fixed handful.
     assert threaded["peak_threads"] >= n_devices
     assert multiplexed["peak_threads"] <= 24
@@ -335,6 +339,10 @@ def test_f1_fleet_scale_1000(benchmark, bench_seed, require_nofile):
     assert fleet["converged"] and fleet["nonempty"]
     assert fleet["batches"] >= n_devices
     assert fleet["fifo_violations"] == 0
+    emit(
+        "f1", "fleet_1000_peak_threads", "threads",
+        fleet["peak_threads"], threshold=32,
+    )
     assert fleet["peak_threads"] <= 32  # not one thread per device
 
     # ...and a slow device degrades only its own queue.  At 10 devices

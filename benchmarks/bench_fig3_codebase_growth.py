@@ -7,7 +7,7 @@ equivalent Nerpa program stays roughly an order of magnitude smaller
 with near-flat per-feature cost.
 """
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.apps.ovn_model import correlation, simulate_growth
 from repro.apps.snvs import build_snvs
 from repro.p4.openflow import compile_to_openflow
@@ -33,6 +33,10 @@ def test_fig3_growth_series(benchmark):
     print(f"correlation(LoC, fragments) = {r:.4f}   (paper: curves track)")
     print(f"imperative/Nerpa final ratio = {ratio:.1f}x  (paper: >= 10x)")
 
+    emit(
+        "fig3", "imperative_vs_nerpa_loc", "ratio_x",
+        round(ratio, 1), threshold=8,
+    )
     assert r > 0.97
     assert ratio >= 8
     # Growth is monotone, like the figure.

@@ -32,7 +32,7 @@ round is kept, which cancels slow drift in machine load.
 """
 
 from benchmarks.bench_e2_incremental_gain import N_CHANGES, N_PORTS, run_incremental
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro import obs
 
 ROUNDS = 6
@@ -107,6 +107,10 @@ def test_o1_observability_overhead(benchmark):
     # The enabled run actually collected telemetry...
     assert txns >= N_CHANGES
     assert spans >= N_CHANGES
+    emit(
+        "o1", "enabled_overhead", "fraction",
+        round(enabled, 4), threshold=0.10,
+    )
     # ...the disabled path is indistinguishable from run-to-run noise...
     assert noise < 0.10
     # ...the always-on tier stays under the acceptance budget...

@@ -15,7 +15,7 @@ pipeline exists for:
 
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.core.controller import NerpaController
 from repro.core.pipeline import nerpa_build
 from repro.mgmt.database import Database
@@ -169,5 +169,9 @@ def test_p1_pipeline_isolation_and_batching(benchmark):
 
     # Batching: coalescing collapses the backlog behind the slow device
     # into far fewer round trips and a multiple of the throughput.
+    emit(
+        "p1", "batched_vs_unbatched_throughput", "ratio_x",
+        round(batched_tput / unbatched_tput, 2), threshold=2.0,
+    )
     assert batched["device_writes_issued"][slow_name] < N_EVENTS / 2
     assert batched_tput > 2 * unbatched_tput

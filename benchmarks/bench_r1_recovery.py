@@ -15,7 +15,7 @@ import json
 import socket
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.core.controller import NerpaController
 from repro.core.pipeline import nerpa_build
 from repro.mgmt.client import ManagementClient
@@ -204,6 +204,14 @@ def test_r1_recovery_latency(benchmark):
         ["fault", "recovery latency"],
     )
 
+    emit(
+        "r1", "mgmt_recovery_latency", "seconds",
+        round(mgmt_latency, 4), threshold=10.0,
+    )
+    emit(
+        "r1", "device_recovery_latency", "seconds",
+        round(device_latency, 4), threshold=10.0,
+    )
     # Recovery is dominated by the backoff delay (tens of ms under the
     # bench policy), not by the reconcile itself.
     assert mgmt_latency < 10.0

@@ -18,7 +18,7 @@ exchange overhead, which measures the scheduler, not the design.
 import os
 import time
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.dlog import compile_program
 from repro.workloads.churn import robotron_churn
 
@@ -137,6 +137,11 @@ def test_s1_shard_scaling(benchmark, bench_seed):
     )
 
     cores = os.cpu_count() or 1
+    emit(
+        "s1", "four_shard_speedup", "speedup_x",
+        round(results[1][0] / results[4][0], 2), threshold=2.5,
+        cores=cores,
+    )
     if cores >= 4:
         speedup = results[1][0] / results[4][0]
         assert speedup >= 2.5, (

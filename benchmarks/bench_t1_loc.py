@@ -15,7 +15,7 @@ conversion, device synchronization).
 
 import inspect
 
-from benchmarks.conftest import report
+from benchmarks.conftest import emit, report
 from repro.analysis.loc import count_loc
 from repro.apps.snvs import SNVS_DLOG, SNVS_P4, build_snvs
 from repro.baselines import imperative
@@ -57,6 +57,10 @@ def test_t1_loc_accounting(benchmark):
     assert 100 <= p4_loc <= 350  # same ballpark as the paper's 300
     # The paper's headline: the imperative equivalent of just the rule
     # logic is an order of magnitude bigger.
+    emit(
+        "t1", "imperative_vs_rules_loc", "ratio_x",
+        round(imperative_loc / rules_loc, 1), threshold=5,
+    )
     assert imperative_loc / rules_loc >= 5
     # And the whole declarative stack stays under the paper's 700-line
     # budget even including generated text.

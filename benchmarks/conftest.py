@@ -14,6 +14,7 @@ specific one.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -72,6 +73,54 @@ def report(title: str, rows, columns) -> None:
     print("-" * len(header))
     for row in rows:
         print(" | ".join(f"{str(v):>18}" for v in row))
+
+
+def emit(
+    bench_id: str,
+    name: str,
+    metric: str,
+    value,
+    threshold=None,
+    **extra,
+) -> str:
+    """Write one machine-readable result as ``BENCH_<id>.json``.
+
+    Every bench emits (at least) one of these so CI can gate on and
+    archive the headline number without scraping stdout.  ``metric``
+    names the unit/direction (e.g. ``speedup_x``, ``p95_seconds``);
+    ``threshold`` is the gate the bench itself asserts, recorded so the
+    artifact is self-describing.  Repeat calls with the same
+    ``bench_id`` accumulate under a ``results`` list in one file.
+    Files land in ``$BENCH_JSON_DIR`` (default: current directory).
+    Returns the path written.
+    """
+    directory = os.environ.get("BENCH_JSON_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{bench_id}.json")
+    entry = {"name": name, "metric": metric, "value": value}
+    if threshold is not None:
+        entry["threshold"] = threshold
+    entry.update(extra)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        if doc.get("bench") != bench_id or not isinstance(
+            doc.get("results"), list
+        ):
+            doc = None
+    except (OSError, ValueError):
+        doc = None
+    if doc is None:
+        doc = {"bench": bench_id, "results": []}
+    doc["results"] = [
+        r for r in doc["results"] if r.get("name") != name
+    ] + [entry]
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 def pytest_addoption(parser):

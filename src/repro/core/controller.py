@@ -451,6 +451,7 @@ class NerpaController:
         shard_workers: str = "process",
         apply_plane: str = "aio",
         reactor=None,
+        checkpoint_every: int = 8,
     ):
         self.project = project
         #: ``"aio"`` (default) drives stage 3 through one shared
@@ -473,25 +474,51 @@ class NerpaController:
         #: behind the same pipeline (a per-shard-count checkpoint:
         #: changing ``shards`` degrades the next start to cold).
         self.shards = shards
+        #: Cut a fresh full snapshot once the chain holds this many
+        #: delta segments (``save_checkpoint(mode="auto")`` compaction).
+        self.checkpoint_every = checkpoint_every
         # Warm-start state: if a compatible checkpoint exists, restore
         # the engine from it instead of recomputing the fixpoint.  An
         # unreadable or hash-mismatched checkpoint silently degrades to
-        # a cold start — always correct, just slower.
+        # a cold start — always correct, just slower.  The checkpoint
+        # is a *chain* (full snapshot + delta segments, see
+        # :class:`repro.dlog.checkpoint.CheckpointStore`); the full
+        # snapshot keeps the pre-chain ``controller.ckpt`` name and
+        # payload, so checkpoints from older controllers restore fine.
         self._warm_state: Optional[dict] = None
+        self._ckpt_store: Optional[ckpt.CheckpointStore] = None
         runtime = None
         if state_dir is not None:
+            self._ckpt_store = self._make_store()
             try:
-                data = ckpt.load_checkpoint(self._checkpoint_path())
+                full, segments = self._ckpt_store.load_chain(
+                    lambda data: int(data.get("engine_txns", 0))
+                )
             except ckpt.CheckpointError:
-                data = None
-            if data is not None:
+                full, segments = None, []
+            if full is not None:
+                engine_ckpt = full.get("engine")
+                if segments:
+                    engine_ckpt = {
+                        "delta_chain": True,
+                        "full": engine_ckpt,
+                        "segments": segments,
+                    }
                 runtime = project.program.start(
-                    checkpoint=data.get("engine"),
+                    checkpoint=engine_ckpt,
                     shards=shards,
                     shard_workers=shard_workers,
                 )
                 if runtime.restored:
-                    self._warm_state = data
+                    self._warm_state = dict(full)
+                    if segments:
+                        # The chain's tail is the freshest controller
+                        # state: each segment's meta snapshots the
+                        # mcast/seq/epoch bookkeeping as of its cut.
+                        meta = segments[-1].get("meta") or {}
+                        for key in ("mcast", "seq", "device_epochs"):
+                            if key in meta:
+                                self._warm_state[key] = meta[key]
         self.runtime = (
             runtime
             if runtime is not None
@@ -499,6 +526,19 @@ class NerpaController:
                 shards=shards, shard_workers=shard_workers
             )
         )
+        if self._ckpt_store is not None and self._warm_state is None:
+            # The chain (if any) does not describe this runtime's state
+            # — cold start or hash mismatch.  Reset to an unanchored
+            # store so the next save_checkpoint cuts a full snapshot.
+            self._ckpt_store = self._make_store()
+        # Journal the engine's normalized input transactions so delta
+        # checkpoints can persist just the changes since the last save.
+        # Enabled only after any chain replay above, so replayed
+        # transactions are not re-journaled.
+        self._journal_on = False
+        if self.state_dir is not None:
+            self.runtime.enable_journal()
+            self._journal_on = True
         self.mgmt = _wrap_mgmt(mgmt)
         self.devices = [
             _ManagedDevice(_wrap_device(d), f"device-{i}")
@@ -564,6 +604,9 @@ class NerpaController:
         self.start_seconds = 0.0
         self.checkpoint_bytes = 0
         self.checkpoint_seconds = 0.0
+        #: ``"full"`` or ``"delta"`` — what the last
+        #: :meth:`save_checkpoint` actually wrote.
+        self.last_checkpoint_mode: Optional[str] = None
         self._stage_seconds: Dict[str, List[float]] = {
             "ingest": [],
             "evaluate": [],
@@ -785,9 +828,38 @@ class NerpaController:
     def _checkpoint_path(self) -> str:
         return os.path.join(self.state_dir, "controller.ckpt")
 
-    def save_checkpoint(self) -> str:
+    def _make_store(self) -> ckpt.CheckpointStore:
+        return ckpt.CheckpointStore(
+            self.state_dir, "controller.ckpt",
+            self.project.program.program_hash,
+        )
+
+    def _mcast_snapshot(self) -> Dict[int, List[int]]:
+        return {
+            group: sorted(members)
+            for group, members in self._mcast_members.items()
+            if members
+        }
+
+    def _engine_txns(self) -> int:
+        return int(getattr(self.runtime, "txn_count", 0))
+
+    def save_checkpoint(self, mode: str = "auto") -> str:
         """Persist the engine state, multicast membership, and per-device
-        config epochs to ``state_dir`` (atomic write, fsynced).
+        config epochs to ``state_dir`` (atomic writes, fsynced).
+
+        ``mode`` selects what hits the disk:
+
+        * ``"full"`` — a complete snapshot (engine checkpoint + controller
+          bookkeeping) at ``controller.ckpt``, purging any delta segments
+          (chain compaction);
+        * ``"delta"`` — one append-only segment holding just the journaled
+          engine transactions since the previous save, plus the current
+          mcast/seq/epoch bookkeeping as segment meta.  Cost tracks the
+          change rate, not total state size;
+        * ``"auto"`` (default) — ``"delta"`` while the chain holds fewer
+          than ``checkpoint_every`` segments, ``"full"`` otherwise (and
+          always for the first save, which anchors the chain).
 
         The engine-owned state is snapshotted via an engine task when
         the pipeline is running, so it is consistent with respect to
@@ -796,31 +868,73 @@ class NerpaController:
         """
         if self.state_dir is None:
             raise ReproError("controller has no state_dir to checkpoint to")
+        if mode not in ("auto", "full", "delta"):
+            raise ReproError(f"unknown checkpoint mode {mode!r}")
         started = time.perf_counter()
-
-        def snap() -> dict:
-            return {
-                "format": ckpt.CHECKPOINT_FORMAT,
-                "engine": self.runtime.checkpoint(),
-                "mcast": {
-                    group: sorted(members)
-                    for group, members in self._mcast_members.items()
-                    if members
-                },
-                "seq": self._seq,
-            }
-
-        data = self._submit_engine(snap) if self._started else snap()
-        data["device_epochs"] = {
+        if self._ckpt_store is None:
+            self._ckpt_store = self._make_store()
+        store = self._ckpt_store
+        effective = mode
+        if effective == "auto":
+            effective = (
+                "delta"
+                if self._journal_on
+                and not store.should_full(self.checkpoint_every)
+                else "full"
+            )
+        if effective == "delta" and not self._journal_on:
+            raise ReproError(
+                "delta checkpoint needs a journaling runtime "
+                "(controller built without state_dir journaling)"
+            )
+        os.makedirs(self.state_dir, exist_ok=True)
+        epochs = {
             device.name: device.config_epoch for device in self.devices
         }
-        os.makedirs(self.state_dir, exist_ok=True)
-        path = self._checkpoint_path()
-        size = ckpt.save_checkpoint(path, data)
+        if effective == "full":
+
+            def snap() -> dict:
+                if self._journal_on:
+                    # The snapshot captures everything journaled so far;
+                    # the chain restarts here.
+                    self.runtime.drain_journal()
+                return {
+                    "format": ckpt.CHECKPOINT_FORMAT,
+                    "engine": self.runtime.checkpoint(),
+                    "engine_txns": self._engine_txns(),
+                    "mcast": self._mcast_snapshot(),
+                    "seq": self._seq,
+                }
+
+            data = self._submit_engine(snap) if self._started else snap()
+            data["device_epochs"] = epochs
+            size = store.save_full(data, data["engine_txns"])
+            path = self._checkpoint_path()
+        else:
+
+            def snap() -> dict:
+                return {
+                    "txns": self.runtime.drain_journal(),
+                    "engine_txns": self._engine_txns(),
+                    "meta": {
+                        "mcast": self._mcast_snapshot(),
+                        "seq": self._seq,
+                    },
+                }
+
+            data = self._submit_engine(snap) if self._started else snap()
+            data["meta"]["device_epochs"] = epochs
+            path = store._segment_path(store._next_index)
+            size = store.save_delta(
+                data["txns"], data["engine_txns"], meta=data["meta"]
+            )
         self.checkpoint_bytes = size
         self.checkpoint_seconds = time.perf_counter() - started
+        self.last_checkpoint_mode = effective
         if obs.enabled():
-            obs.REGISTRY.gauge("controller_checkpoint_bytes").set(size)
+            obs.REGISTRY.gauge(
+                "controller_checkpoint_bytes", mode=effective
+            ).set(size)
             obs.REGISTRY.gauge("controller_checkpoint_seconds").set(
                 self.checkpoint_seconds
             )

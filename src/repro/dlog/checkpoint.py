@@ -1,4 +1,4 @@
-"""Engine checkpoint serialization.
+"""Engine checkpoint serialization: full snapshots and delta segments.
 
 A checkpoint captures the full state of a :class:`~repro.dlog.engine.Runtime`
 — input relation contents, every stateful operator's arrangement, and
@@ -10,6 +10,36 @@ program changed) falls back to cold start, which is always correct.
 The on-disk format is a pickled dict written atomically: temp file in
 the target directory, ``fsync``, then ``os.replace``.  A crash mid-save
 leaves the previous checkpoint (or none) intact, never a torn one.
+
+Checkpoint format v2 — delta chains
+-----------------------------------
+
+Writing a full snapshot costs O(total state) no matter how little
+changed.  :class:`CheckpointStore` amortizes that: between full
+snapshots it appends *delta segments* — each one the journaled,
+normalized input transactions since the previous save (see
+``Runtime.enable_journal``) — so steady-state persistence cost tracks
+the change rate.  On disk a chain is::
+
+    <name>               the full snapshot (unchanged v1 payload)
+    <name>.delta-000001.seg
+    <name>.delta-000002.seg  ...
+
+Each segment records the program hash, its position in the chain, and
+the transaction-counter interval it covers; :meth:`CheckpointStore.load_segments`
+only accepts a contiguous, same-hash chain anchored at the snapshot's
+transaction count and **unlinks** any segment that fails validation
+(plus everything after it) — a crash between writing a new full
+snapshot and purging old segments therefore self-heals on the next
+load instead of replaying stale deltas.  Restore = restore the full
+snapshot, then replay the segments' transactions through the normal
+transaction path (:func:`replay_segments`); because journaled rows are
+already normalized, replay is deterministic and warning-free.
+
+Compaction: every :meth:`CheckpointStore.save_full` purges all
+segments and restarts the chain; callers typically cut a full snapshot
+every N transactions (``should_full``) or when the accumulated segment
+bytes approach the snapshot size.
 """
 
 from __future__ import annotations
@@ -18,9 +48,10 @@ import hashlib
 import os
 import pickle
 import tempfile
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 CHECKPOINT_FORMAT = 1
+SEGMENT_FORMAT = 1
 
 
 class CheckpointError(Exception):
@@ -77,3 +108,196 @@ def load_checkpoint(path: str) -> Optional[dict]:
             f"{data.get('format') if isinstance(data, dict) else '?'}"
         )
     return data
+
+
+class CheckpointStore:
+    """A full snapshot plus an append-only chain of delta segments.
+
+    The store manages one chain under ``directory``: the full snapshot
+    at ``<directory>/<name>`` (written with the ordinary atomic
+    :func:`save_checkpoint`, so existing full-snapshot readers keep
+    working) and numbered ``<name>.delta-NNNNNN.seg`` files.  All
+    writes are atomic; every file is stamped with ``program_hash`` and
+    validated on load.
+    """
+
+    def __init__(self, directory: str, name: str, program_hash: Optional[str]):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.name = name
+        self.program_hash = program_hash
+        self.full_path = os.path.join(directory, name)
+        self._next_index = 1
+        self._anchor: Optional[int] = None  # txn_count the chain has reached
+        self.segments_since_full = 0
+
+    # -- write side --------------------------------------------------------
+
+    def save_full(self, data: dict, txn_count: int) -> int:
+        """Write a full snapshot, purge every delta segment (compaction),
+        and re-anchor the chain at ``txn_count``.  Returns bytes written."""
+        size = save_checkpoint(self.full_path, data)
+        for path in self._segment_paths():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._next_index = 1
+        self._anchor = txn_count
+        self.segments_since_full = 0
+        return size
+
+    def save_delta(
+        self, txns: List[dict], txn_count: int, meta: Optional[dict] = None
+    ) -> int:
+        """Append one segment covering ``txns`` (journal entries) and
+        ending at transaction counter ``txn_count``.  Returns bytes
+        written.  Requires an anchored chain (a prior :meth:`save_full`
+        or a validated :meth:`load_segments`)."""
+        if self._anchor is None:
+            raise CheckpointError(
+                "delta segment without an anchored full snapshot; "
+                "call save_full first"
+            )
+        segment = {
+            "format": SEGMENT_FORMAT,
+            "program_hash": self.program_hash,
+            "segment": self._next_index,
+            "base_txn": self._anchor,
+            "txn_count": txn_count,
+            "txns": list(txns),
+            "meta": meta or {},
+        }
+        size = save_checkpoint(self._segment_path(self._next_index), segment)
+        self._next_index += 1
+        self._anchor = txn_count
+        self.segments_since_full += 1
+        return size
+
+    def should_full(self, every: int) -> bool:
+        """True when the chain holds >= ``every`` segments (or has no
+        anchor yet) — the caller's cue to cut a fresh full snapshot."""
+        return self._anchor is None or self.segments_since_full >= every
+
+    # -- read side ---------------------------------------------------------
+
+    def load_full(self) -> Optional[dict]:
+        """The full snapshot (``None`` if absent); may raise
+        :class:`CheckpointError` exactly like :func:`load_checkpoint`."""
+        return load_checkpoint(self.full_path)
+
+    def load_segments(self, base_txn: int) -> List[dict]:
+        """The validated segment chain anchored at ``base_txn`` (the
+        loaded full snapshot's transaction count).
+
+        Walks segments in index order and stops at the first invalid
+        one — wrong format or hash, non-contiguous index, or a
+        transaction-counter interval that does not continue the chain.
+        Invalid tails are **unlinked** (self-healing: they are stale
+        leftovers of an older chain after an interrupted compaction).
+        Also re-anchors the store so subsequent :meth:`save_delta`
+        calls continue the chain.
+        """
+        chain: List[dict] = []
+        anchor = base_txn
+        expected = 1
+        paths = self._segment_paths()
+        valid_prefix = 0
+        for path in paths:
+            segment = self._read_segment(path)
+            if (
+                segment is None
+                or segment.get("format") != SEGMENT_FORMAT
+                or segment.get("program_hash") != self.program_hash
+                or segment.get("segment") != expected
+                or self._index_of(path) != expected
+                or segment.get("base_txn") != anchor
+                or not isinstance(segment.get("txns"), list)
+                or not isinstance(segment.get("txn_count"), int)
+                or segment["txn_count"] < anchor
+            ):
+                break
+            chain.append(segment)
+            anchor = segment["txn_count"]
+            expected += 1
+            valid_prefix += 1
+        for path in paths[valid_prefix:]:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._next_index = expected
+        self._anchor = anchor
+        self.segments_since_full = len(chain)
+        return chain
+
+    def load_chain(
+        self, anchor_of: Callable[[dict], int]
+    ) -> Tuple[Optional[dict], List[dict]]:
+        """Convenience: ``(full, segments)`` with the chain anchored at
+        ``anchor_of(full)``; ``(None, [])`` when no snapshot exists."""
+        full = self.load_full()
+        if full is None:
+            return None, []
+        return full, self.load_segments(anchor_of(full))
+
+    # -- internals ---------------------------------------------------------
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(
+            self.directory, f"{self.name}.delta-{index:06d}.seg"
+        )
+
+    def _segment_paths(self) -> List[str]:
+        prefix = f"{self.name}.delta-"
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.directory, entry)
+            for entry in sorted(entries)
+            if entry.startswith(prefix) and entry.endswith(".seg")
+        ]
+
+    @staticmethod
+    def _index_of(path: str) -> Optional[int]:
+        stem = os.path.basename(path)[:-len(".seg")]
+        try:
+            return int(stem.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            return None
+
+    @staticmethod
+    def _read_segment(path: str) -> Optional[dict]:
+        try:
+            with open(path, "rb") as handle:
+                data = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+
+def replay_segments(runtime, segments: List[dict], phash: Optional[str]) -> int:
+    """Replay a validated segment chain through ``runtime.transaction``.
+
+    Works on any runtime with the engine transaction API (single
+    :class:`~repro.dlog.engine.Runtime` or sharded facade).  Segments
+    whose hash does not match ``phash`` stop the replay — the
+    prefix already applied is still consistent state.  Returns the
+    number of transactions replayed and pins the runtime's transaction
+    counter to the chain's end (journals skip empty transactions, so
+    the raw replay count may undercount).
+    """
+    replayed = 0
+    for segment in segments:
+        if phash is not None and segment.get("program_hash") != phash:
+            break
+        for txn in segment.get("txns", ()):
+            runtime.transaction(
+                inserts=txn.get("inserts") or {},
+                deletes=txn.get("deletes") or {},
+            )
+            replayed += 1
+        runtime.txn_count = segment.get("txn_count", runtime.txn_count)
+    return replayed

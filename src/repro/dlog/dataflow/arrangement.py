@@ -16,12 +16,18 @@ _EMPTY: Dict[object, int] = {}
 
 
 class Arrangement:
-    """``key -> {record -> weight}`` with eager zero-entry removal."""
+    """``key -> {record -> weight}`` with eager zero-entry removal.
 
-    __slots__ = ("data",)
+    A running record count is maintained alongside the index so
+    :meth:`total_records` (hit by ``Runtime.state_size`` and the obs
+    gauges on every scrape) is O(1) instead of O(all keys).
+    """
+
+    __slots__ = ("data", "records")
 
     def __init__(self):
         self.data: Dict[object, Dict[object, int]] = {}
+        self.records: int = 0
 
     def add(self, key, record, weight: int) -> None:
         if weight == 0:
@@ -33,15 +39,41 @@ class Arrangement:
         new = group.get(record, 0) + weight
         if new == 0:
             del group[record]
+            self.records -= 1
             if not group:
                 del self.data[key]
         else:
+            if record not in group:
+                self.records += 1
             group[record] = new
 
     def update(self, delta: ZSet, key_fn) -> None:
         """Apply a keyed delta: each record is indexed under ``key_fn(record)``."""
-        for record, weight in delta.items():
-            self.add(key_fn(record), record, weight)
+        add = self.add
+        for record, weight in delta.data.items():
+            add(key_fn(record), record, weight)
+
+    def build(self, delta: ZSet, key_fn) -> None:
+        """Bulk-build from a delta in one grouped pass.
+
+        Only valid when ``self`` is empty and the delta is free of zero
+        weights (the ZSet invariant): groups are formed with plain dict
+        writes, skipping the per-record transition bookkeeping of
+        :meth:`add`.  Negative weights are fine — they are stored as-is,
+        matching what repeated ``add`` calls would leave behind.
+        """
+        if self.data:
+            self.update(delta, key_fn)
+            return
+        data = self.data
+        for record, weight in delta.data.items():
+            key = key_fn(record)
+            group = data.get(key)
+            if group is None:
+                data[key] = {record: weight}
+            else:
+                group[record] = weight
+        self.records = len(delta.data)
 
     def group(self, key) -> Dict[object, int]:
         """The records under ``key`` (empty mapping if none). Do not mutate."""
@@ -57,7 +89,7 @@ class Arrangement:
         return iter(self.data.items())
 
     def total_records(self) -> int:
-        return sum(len(g) for g in self.data.values())
+        return self.records
 
     def __len__(self) -> int:
         return len(self.data)

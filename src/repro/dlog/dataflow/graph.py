@@ -59,6 +59,7 @@ class Graph:
         self,
         source_deltas: Dict[int, ZSet],
         profile: Optional[List[Tuple[Node, float, int, int]]] = None,
+        bulk: bool = False,
     ) -> Dict[int, ZSet]:
         """Propagate deltas; returns ``id(node) -> output delta``.
 
@@ -67,14 +68,28 @@ class Graph:
         empty transaction does no work, and a small one touches only the
         paths it reaches.
 
+        With ``bulk=True`` each node is first offered the batch via
+        :meth:`Node.process_bulk`; a node that cannot take the bulk path
+        (stateful node with existing state, recursive SCC evaluator)
+        returns ``None`` and is run through its incremental ``process``
+        instead, so the two paths are freely interleavable.
+
         When ``profile`` is a list, every processed node appends a
         ``(node, seconds, in_tuples, out_tuples)`` sample to it.
+
+        Output deltas are treated as immutable once emitted: a
+        downstream input slot *borrows* the producer's delta on first
+        assignment and only copies it if a second producer has to merge
+        into the same slot.  Operators must therefore never mutate their
+        input deltas (they don't — they read inputs and build fresh
+        outputs).
         """
         pending: Dict[int, List[Optional[ZSet]]] = {}
         for node_id, delta in source_deltas.items():
             if delta:
                 pending[node_id] = [delta]
         outputs: Dict[int, object] = {}
+        borrowed: Dict[Tuple[int, int], bool] = {}
         for node in self.topo_order():
             inputs = pending.pop(id(node), None)
             if inputs is None:
@@ -82,11 +97,15 @@ class Graph:
             while len(inputs) < node.n_ports:
                 inputs.append(None)
             if profile is None:
-                result = node.process(inputs)
+                result = node.process_bulk(inputs) if bulk else None
+                if result is None:
+                    result = node.process(inputs)
             else:
                 n_in = sum(len(d) for d in inputs if d is not None)
                 started = time.perf_counter()
-                result = node.process(inputs)
+                result = node.process_bulk(inputs) if bulk else None
+                if result is None:
+                    result = node.process(inputs)
                 elapsed = time.perf_counter() - started
                 if isinstance(result, dict):
                     n_out = sum(len(z) for z in result.values())
@@ -105,8 +124,11 @@ class Graph:
                 while len(slot) < child.n_ports:
                     slot.append(None)
                 if slot[port] is None:
-                    slot[port] = out.copy()
+                    slot[port] = out
+                    borrowed[(id(child), port)] = True
                 else:
+                    if borrowed.pop((id(child), port), False):
+                        slot[port] = slot[port].copy()
                     slot[port].merge(out)
         return outputs
 

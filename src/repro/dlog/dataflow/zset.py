@@ -50,8 +50,15 @@ class ZSet:
 
     def merge(self, other: "ZSet") -> None:
         """In-place ``self += other``."""
+        data = self.data
+        if not data:
+            # Empty receiver: the sum is just ``other`` (already free of
+            # zero weights by invariant), so copy the dict wholesale.
+            data.update(other.data)
+            return
+        add = self.add
         for record, weight in other.data.items():
-            self.add(record, weight)
+            add(record, weight)
 
     def clear(self) -> None:
         self.data.clear()

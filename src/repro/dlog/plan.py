@@ -26,6 +26,7 @@ information for its semi-naive join orders.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dlog import ast as A
@@ -43,6 +44,37 @@ from repro.dlog.dataflow.operators import (
 from repro.dlog.stdlib import AGGREGATES
 from repro.errors import TypeCheckError
 from repro.dlog.values import MapValue
+
+
+def _tuple_getter(positions: Sequence[int]) -> Callable[[tuple], tuple]:
+    """A compiled ``row -> (row[p0], row[p1], ...)`` selector."""
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        p = positions[0]
+        return lambda row: (row[p],)
+    return itemgetter(*positions)
+
+
+def _simple_pvar_positions(args: Sequence[A.Pattern]) -> Optional[List[int]]:
+    """Positions of PVar args when the atom is a simple projection.
+
+    Returns ``None`` unless every argument is a plain variable or
+    wildcard and the variables are pairwise distinct (no implicit
+    equality constraints) — the shape whose match never fails and whose
+    output is a pure positional projection.
+    """
+    positions: List[int] = []
+    names: Set[str] = set()
+    for i, pat in enumerate(args):
+        if isinstance(pat, A.PVar):
+            if pat.name in names:
+                return None
+            names.add(pat.name)
+            positions.append(i)
+        elif not isinstance(pat, A.PWildcard):
+            return None
+    return positions
 
 
 class Schema:
@@ -298,6 +330,10 @@ class Planner:
             lambda row, fns=tuple(head_fns): tuple(fn(row) for fn in fns),
             name=f"{rule.name}:head",
         )
+        if all(isinstance(e, A.Var) and e.name in schema for e in head_exprs):
+            head_node.fast_fn = _tuple_getter(
+                [schema.index[e.name] for e in head_exprs]
+            )
         assert current is not None
         current.connect_to(head_node, 0)
         chain.nodes.append(head_node)
@@ -367,6 +403,15 @@ class Planner:
             return (out,) if out is not None else ()
 
         node = FlatMapNode(expand, name=f"{rule.name}:scan({atom.relation})")
+        # Simple scans (all-distinct plain variables, maybe wildcards)
+        # are pure projections: give the bulk path a compiled selector,
+        # or forward the delta untouched when it is the full row.
+        positions = _simple_pvar_positions(atom.args)
+        if positions is not None:
+            if len(positions) == len(atom.args):
+                node.bulk_identity = True
+            else:
+                node.bulk_map = _tuple_getter(positions)
         chain.entry = (atom.relation, node)
         chain.nodes.append(node)
         return node, schema
@@ -390,6 +435,28 @@ class Planner:
         node = JoinNode(
             left_key, right_key, merge, name=f"{rule.name}:join({atom.relation})"
         )
+        # When every residual argument is a fresh, distinct plain
+        # variable, the pattern match can never fail (key equality
+        # already covers the keyable positions) and the merged row is a
+        # pure concatenation — compile it for the bulk path.
+        fresh: Set[str] = set()
+        simple_residual = True
+        for pos in _residual:
+            pat = atom.args[pos]
+            if (
+                not isinstance(pat, A.PVar)
+                or pat.name in fresh
+                or pat.name in bound
+            ):
+                simple_residual = False
+                break
+            fresh.add(pat.name)
+        if simple_residual:
+            if _residual:
+                sel = _tuple_getter(list(_residual))
+                node.fast_merge = lambda l_row, r_row, sel=sel: l_row + sel(r_row)
+            else:
+                node.fast_merge = lambda l_row, r_row: l_row
         current.connect_to(node, 0)
         chain.taps.append((atom.relation, node, 1))
         chain.nodes.append(node)
@@ -426,6 +493,8 @@ class Planner:
         projector = FlatMapNode(
             project, name=f"{rule.name}:negkey({atom.relation})"
         )
+        if not checks:
+            projector.bulk_map = _tuple_getter(list(key_positions))
         left_key = self._compile_key(keys, schema)
         node = AntiJoinNode(left_key, name=f"{rule.name}:antijoin({atom.relation})")
         current.connect_to(node, 0)

@@ -81,11 +81,14 @@ class ShardedRuntime:
         workers: str = "process",
         checkpoint: Optional[dict] = None,
         plan: Optional[ShardPlan] = None,
+        bulk_load: bool = True,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.program = program
         self.shards = shards
+        self.bulk_load = bulk_load
+        self._journal: Optional[List[dict]] = None
         self.plan = plan if plan is not None else analyze(program)
         self._input_state: Dict[str, Set[tuple]] = {
             name: set() for name in program.input_relations
@@ -145,18 +148,35 @@ class ShardedRuntime:
         self._workers = []
         for shard_id, ckpt in enumerate(checkpoints):
             used_kind, worker = make_worker(
-                kind, self.program, shard_id, ckpt
+                kind, self.program, shard_id, ckpt, bulk_load=self.bulk_load
             )
             self.worker_kind = used_kind
             self._workers.append(worker)
 
     # -- transactions ----------------------------------------------------------
 
+    def enable_journal(self) -> None:
+        """Record normalized facade-level input deltas per transaction
+        (same format as :meth:`Runtime.enable_journal`); the journal
+        captures the global rows, so replay through a facade of *any*
+        shard count reproduces the same state."""
+        if self._journal is None:
+            self._journal = []
+
+    def drain_journal(self) -> List[dict]:
+        if self._journal is None:
+            return []
+        drained, self._journal = self._journal, []
+        return drained
+
     def transaction(
         self,
         inserts: Optional[Mapping[str, Iterable[Sequence]]] = None,
         deletes: Optional[Mapping[str, Iterable[Sequence]]] = None,
+        initial: bool = False,
     ):
+        # ``initial`` is accepted for Runtime API parity; per-shard
+        # engines detect the cold-load case from their own empty state.
         from repro.dlog.engine import TxnResult
 
         started = time.perf_counter()
@@ -208,6 +228,10 @@ class ShardedRuntime:
                 raise TransactionError(f"{rel_name} is not an input relation")
         per_shard: List[Optional[dict]] = [None] * self.shards
         routed = broadcast = 0
+        journal = self._journal
+        entry: Optional[dict] = (
+            {"inserts": {}, "deletes": {}} if journal is not None else None
+        )
 
         def bucket(shard_id: int, key: str, rel: str) -> List[tuple]:
             changes = per_shard[shard_id]
@@ -243,6 +267,8 @@ class ShardedRuntime:
                     continue
                 state.discard(row)
                 removed.add(row)
+                if entry is not None:
+                    entry["deletes"].setdefault(rel_name, []).append(row)
                 keyed = dispatch(rel_name, row, "deletes")
                 routed += keyed
                 broadcast += (1 - keyed) * self.shards
@@ -260,9 +286,13 @@ class ShardedRuntime:
                     continue
                 state.add(row)
                 added.add(row)
+                if entry is not None:
+                    entry["inserts"].setdefault(rel_name, []).append(row)
                 keyed = dispatch(rel_name, row, "inserts")
                 routed += keyed
                 broadcast += (1 - keyed) * self.shards
+        if entry is not None and (entry["inserts"] or entry["deletes"]):
+            journal.append(entry)
         return per_shard, routed, broadcast
 
     def _merge(self, results: Sequence[dict]):

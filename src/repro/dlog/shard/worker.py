@@ -51,9 +51,15 @@ class InlineWorker:
 
     kind = "inline"
 
-    def __init__(self, program, shard_id: int, checkpoint: Optional[dict]):
+    def __init__(
+        self,
+        program,
+        shard_id: int,
+        checkpoint: Optional[dict],
+        bulk_load: bool = True,
+    ):
         self.shard_id = shard_id
-        self._runtime = program.start(checkpoint=checkpoint)
+        self._runtime = program.start(checkpoint=checkpoint, bulk_load=bulk_load)
         self._pending = None
         self.ready = {
             "restored": self._runtime.restored,
@@ -87,14 +93,14 @@ class InlineWorker:
         self._pending = None
 
 
-def _worker_main(conn, source_text, recursive_mode, checkpoint) -> None:
+def _worker_main(conn, source_text, recursive_mode, checkpoint, bulk_load=True) -> None:
     """Child-process entry: compile, start, then serve the pipe."""
     from repro.dlog.engine import compile_program
 
     try:
         runtime = compile_program(
             source_text, recursive_mode=recursive_mode
-        ).start(checkpoint=checkpoint)
+        ).start(checkpoint=checkpoint, bulk_load=bulk_load)
         conn.send(
             (
                 "ready",
@@ -161,7 +167,13 @@ class ProcessWorker:
 
     kind = "process"
 
-    def __init__(self, program, shard_id: int, checkpoint: Optional[dict]):
+    def __init__(
+        self,
+        program,
+        shard_id: int,
+        checkpoint: Optional[dict],
+        bulk_load: bool = True,
+    ):
         if program.source_text is None:
             raise ShardWorkerError(
                 "process shard workers need program source text"
@@ -176,6 +188,7 @@ class ProcessWorker:
                 program.source_text,
                 program.recursive_mode,
                 checkpoint,
+                bulk_load,
             ),
             name=f"dlog-shard-{shard_id}",
             daemon=True,
@@ -228,7 +241,11 @@ WORKER_KINDS = {"inline": InlineWorker, "process": ProcessWorker}
 
 
 def make_worker(
-    kind: str, program, shard_id: int, checkpoint: Optional[dict]
+    kind: str,
+    program,
+    shard_id: int,
+    checkpoint: Optional[dict],
+    bulk_load: bool = True,
 ) -> Tuple[str, object]:
     """Build one worker, degrading ``process`` to ``inline`` when the
     program cannot be shipped to a child (no source text)."""
@@ -241,4 +258,4 @@ def make_worker(
             f"unknown shard_workers {kind!r}; expected one of "
             f"{sorted(WORKER_KINDS)}"
         ) from None
-    return kind, cls(program, shard_id, checkpoint)
+    return kind, cls(program, shard_id, checkpoint, bulk_load=bulk_load)

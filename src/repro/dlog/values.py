@@ -22,11 +22,37 @@ struct / union       :class:`StructValue`
 Plain Python ints/strings/tuples are used directly where possible so
 that interop with the rest of the stack (database rows, P4 table
 entries) needs no boxing.
+
+Interning invariants
+--------------------
+
+:class:`StructValue` and :class:`MapValue` are **hash-consed**: the
+constructor returns the canonical instance for its contents from a
+per-process weak intern table, so within one process
+
+* *identity implies equality* — always true for immutable values — and
+* *equality implies identity*: two live equal instances are the same
+  object, which lets ``__eq__`` answer most comparisons with a single
+  pointer check and lets dict probes in the dataflow hot paths skip
+  field-by-field comparison entirely.
+
+The table holds the values weakly: an interned value is dropped as
+soon as the last relation row referencing it dies, so interning never
+pins memory.  Pickling round-trips through the constructor
+(:meth:`~StructValue.__reduce__`), so values crossing a shard-worker
+pipe re-intern on arrival.  Both depend on the instances being deeply
+immutable — never bypass the ``__setattr__`` guard on an interned
+value, and never pass a field/value that can mutate after
+construction.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Tuple
+
+_struct_intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+_map_intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
 
 class StructValue:
@@ -34,27 +60,42 @@ class StructValue:
 
     ``constructor`` is the constructor name (for a plain struct it
     equals the type name); ``fields`` is a tuple of field values in
-    declaration order.  Instances are immutable and hashable.
+    declaration order.  Instances are immutable, hashable, and
+    interned (see the module docstring's interning invariants).
     """
 
-    __slots__ = ("constructor", "fields", "_hash")
+    __slots__ = ("constructor", "fields", "_hash", "__weakref__")
 
-    def __init__(self, constructor: str, fields: Iterable[object]):
+    def __new__(cls, constructor: str, fields: Iterable[object] = ()):
+        fields = tuple(fields)
+        key = (constructor, fields)
+        if cls is StructValue:
+            cached = _struct_intern.get(key)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "constructor", constructor)
-        object.__setattr__(self, "fields", tuple(fields))
-        object.__setattr__(self, "_hash", hash((constructor, self.fields)))
+        object.__setattr__(self, "fields", fields)
+        object.__setattr__(self, "_hash", hash(key))
+        if cls is StructValue:
+            _struct_intern[key] = self
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("StructValue is immutable")
 
     def __reduce__(self):
         # Default unpickling assigns slots one by one, which the
-        # immutability guard rejects; rebuild through the constructor.
+        # immutability guard rejects; rebuild through the constructor
+        # (which also re-interns the value in the receiving process).
         return (StructValue, (self.constructor, self.fields))
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return (
             isinstance(other, StructValue)
+            and self._hash == other._hash
             and self.constructor == other.constructor
             and self.fields == other.fields
         )
@@ -72,17 +113,27 @@ class MapValue:
 
     Stored as a tuple of ``(key, value)`` pairs sorted by the repr-stable
     ordering of keys, so two maps with equal contents compare and hash
-    equal regardless of insertion order.
+    equal regardless of insertion order.  Instances are interned on the
+    canonical sorted pairs (see the module docstring's interning
+    invariants), so equal maps are the same object within a process.
     """
 
-    __slots__ = ("pairs", "_index", "_hash")
+    __slots__ = ("pairs", "_index", "_hash", "__weakref__")
 
-    def __init__(self, pairs: Iterable[Tuple[object, object]] = ()):
+    def __new__(cls, pairs: Iterable[Tuple[object, object]] = ()):
         index = dict(pairs)
         ordered = tuple(sorted(index.items(), key=_sort_key))
+        if cls is MapValue:
+            cached = _map_intern.get(ordered)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "pairs", ordered)
         object.__setattr__(self, "_index", index)
         object.__setattr__(self, "_hash", hash(ordered))
+        if cls is MapValue:
+            _map_intern[ordered] = self
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("MapValue is immutable")
@@ -118,6 +169,8 @@ class MapValue:
         return MapValue(items.items())
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, MapValue) and self.pairs == other.pairs
 
     def __hash__(self):

@@ -45,6 +45,10 @@ from repro.net.retry import RetryPolicy
 #: real error response sent by the peer).
 _LOST = object()
 
+# Per-send non-blocking flag (0 where unsupported, degrading to the
+# old blocking behavior; see _send_bounded for why it matters).
+_MSG_DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
+
 CONNECTED = "connected"
 RETRYING = "retrying"
 BROKEN = "broken"
@@ -269,7 +273,17 @@ class ResilientConnection:
                     f"send of {method} stalled for {timeout:.1f}s "
                     f"(peer not reading)"
                 )
-            sent = sock.send(view)
+            # MSG_DONTWAIT is load-bearing: on a blocking socket, a
+            # plain ``send`` of a buffer larger than the free kernel
+            # space has sendall semantics on Linux — it returns only
+            # once *everything* is queued, so a peer that stalls
+            # mid-payload wedges the caller inside the send and the
+            # deadline above never gets another look.  Non-blocking
+            # per-attempt sends return partial progress instead.
+            try:
+                sent = sock.send(view, _MSG_DONTWAIT)
+            except (BlockingIOError, InterruptedError):
+                continue  # lost the race for buffer space; re-check deadline
             view = view[sent:]
 
     def _check_usable(self, method: str) -> None:

@@ -559,3 +559,205 @@ class TestShardingOracle:
                 assert sharded.dump(rel) == single.dump(rel)
         finally:
             sharded.close()
+
+# ---------------------------------------------------------------------------
+# Bulk-load oracle: the grouped cold-start path vs the per-delta
+# reference path must be observationally identical.
+# ---------------------------------------------------------------------------
+
+AGG_PROGRAM = """
+input relation Item(k: bigint, v: bigint)
+output relation Sum(k: bigint, s: bigint)
+Sum(k, s) :- Item(k, v), var s = Aggregate((k), sum(v)).
+"""
+
+
+class TestBulkLoadOracle:
+    """`start(bulk_load=True)` (the default) builds operator state in
+    one grouped pass on cold transactions; `bulk_load=False` keeps the
+    per-delta reference path.  The two must produce byte-identical
+    deltas and identical warnings on the cold transaction AND stay
+    identical for every incremental transaction after it."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=_join_scenarios())
+    def test_join_negation_bulk_vs_classic(self, scenario):
+        r_arity, s_arity, jr, js, batches = scenario
+        program = compile_program(_join_program(r_arity, s_arity, jr, js))
+        bulk = program.start(bulk_load=True)
+        classic = program.start(bulk_load=False)
+        for batch in batches:
+            changes = _batch_changes(batch)
+            got = bulk.transaction(**changes)
+            want = classic.transaction(**changes)
+            assert _delta_bytes(got) == _delta_bytes(want)
+            assert got.warnings == want.warnings
+        for rel in ("R", "S", "J", "OnlyR"):
+            assert bulk.dump(rel) == classic.dump(rel)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        batches=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "Edge+": st.lists(
+                        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                        max_size=6,
+                    ),
+                    "Edge-": st.lists(
+                        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                        max_size=6,
+                    ),
+                }
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_recursion_bulk_vs_classic(self, batches):
+        """Recursive SCCs never take the bulk path themselves, but they
+        consume bulk-built upstream deltas — the seam must be exact."""
+        program = compile_program(REACH_PROGRAM)
+        bulk = program.start(bulk_load=True)
+        classic = program.start(bulk_load=False)
+        for batch in batches:
+            changes = {
+                "inserts": {"Edge": batch["Edge+"]},
+                "deletes": {"Edge": batch["Edge-"]},
+            }
+            got = bulk.transaction(**changes)
+            want = classic.transaction(**changes)
+            assert _delta_bytes(got) == _delta_bytes(want)
+        assert bulk.dump("Reach") == classic.dump("Reach")
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-5, 5)), max_size=12
+        ),
+        extra=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-5, 5)), max_size=6
+        ),
+    )
+    def test_aggregate_bulk_vs_classic(self, rows, extra):
+        program = compile_program(AGG_PROGRAM)
+        bulk = program.start(bulk_load=True)
+        classic = program.start(bulk_load=False)
+        got = bulk.transaction(inserts={"Item": rows})
+        want = classic.transaction(inserts={"Item": rows})
+        assert _delta_bytes(got) == _delta_bytes(want)
+        assert got.warnings == want.warnings
+        got = bulk.transaction(inserts={"Item": extra})
+        want = classic.transaction(inserts={"Item": extra})
+        assert _delta_bytes(got) == _delta_bytes(want)
+        assert bulk.dump("Sum") == classic.dump("Sum")
+
+    def test_initial_hint_forces_bulk_on_classic_runtime(self):
+        """`transaction(initial=True)` takes the bulk path even with
+        bulk_load=False — and must still match the reference."""
+        program = compile_program(_join_program(2, 2, 0, 1))
+        hinted = program.start(bulk_load=False)
+        classic = program.start(bulk_load=False)
+        changes = {
+            "inserts": {"R": [(1, 2), (3, 2), (1, 2)], "S": [(2, 9)]},
+            "deletes": {},
+        }
+        got = hinted.transaction(initial=True, **changes)
+        want = classic.transaction(**changes)
+        assert _delta_bytes(got) == _delta_bytes(want)
+        assert got.warnings == want.warnings
+        for rel in ("R", "S", "J", "OnlyR"):
+            assert hinted.dump(rel) == classic.dump(rel)
+
+
+# ---------------------------------------------------------------------------
+# Delta-checkpoint oracle: full snapshot + journal segments -> restore
+# -> transact must be byte-identical to an uninterrupted engine.
+# ---------------------------------------------------------------------------
+
+from repro.dlog.checkpoint import CheckpointStore  # noqa: E402
+
+
+class TestDeltaCheckpointOracle:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scenario=_join_scenarios(),
+        shards=st.sampled_from([1, 2, 4]),
+        data=st.data(),
+    )
+    def test_chain_restore_mid_sequence(self, scenario, shards, data, tmp_path_factory):
+        """Anchor a full snapshot mid-sequence, journal the following
+        batches into one delta segment each, restore the chain into a
+        fresh runtime (same shard count), and replay the tail: deltas
+        stay byte-identical to an uninterrupted single-shard engine."""
+        r_arity, s_arity, jr, js, batches = scenario
+        anchor = data.draw(st.integers(0, len(batches)), label="anchor")
+        cut = data.draw(st.integers(anchor, len(batches)), label="cut")
+        directory = str(tmp_path_factory.mktemp("chain"))
+        program = compile_program(_join_program(r_arity, s_arity, jr, js))
+        reference = program.start()
+        subject = program.start(shards=shards, shard_workers="inline")
+        store = CheckpointStore(directory, "engine.ckpt", program.program_hash)
+        try:
+            for batch in batches[:anchor]:
+                changes = _batch_changes(batch)
+                reference.transaction(**changes)
+                subject.transaction(**changes)
+            subject.enable_journal()
+            store.save_full(subject.checkpoint(), subject.txn_count)
+            for batch in batches[anchor:cut]:
+                changes = _batch_changes(batch)
+                reference.transaction(**changes)
+                subject.transaction(**changes)
+                store.save_delta(
+                    subject.drain_journal(), subject.txn_count
+                )
+            subject_txns = subject.txn_count
+        finally:
+            close = getattr(subject, "close", None)
+            if close:
+                close()
+
+        full, segments = store.load_chain(lambda f: f["txn_count"])
+        restored = program.start(
+            checkpoint={
+                "delta_chain": True,
+                "full": full,
+                "segments": segments,
+            },
+            shards=shards,
+            shard_workers="inline",
+        )
+        try:
+            assert restored.restored
+            # Runtime and ShardedRuntime count their initial static-load
+            # transactions differently, so compare against the subject's
+            # own counter at the cut point, not the reference's.
+            assert restored.txn_count == subject_txns
+            for batch in batches[cut:]:
+                changes = _batch_changes(batch)
+                want = reference.transaction(**changes)
+                got = restored.transaction(**changes)
+                assert _delta_bytes(want) == _delta_bytes(got)
+            for rel in ("R", "S", "J", "OnlyR"):
+                assert restored.dump(rel) == reference.dump(rel)
+        finally:
+            close = getattr(restored, "close", None)
+            if close:
+                close()
