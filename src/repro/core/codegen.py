@@ -81,6 +81,13 @@ def generate_declarations(
     if schema is not None:
         lines.append(f"// Input relations generated from OVSDB schema '{schema.name}'.")
         for table in schema.tables.values():
+            if table.name.startswith("_"):
+                # Reserved management-plane tables (e.g. the ``_Lease``
+                # leader-election table) are not application state: they
+                # must not become engine inputs, or every lease
+                # heartbeat would churn through the pipeline and bloat
+                # delta checkpoints.
+                continue
             lines.append(_ovsdb_relation(table, bindings))
         lines.append("")
     if p4info is not None:

@@ -156,13 +156,15 @@ class _LocalDevice:
             self.service = target
         self._event_log: List[str] = []
 
-    def write(self, updates) -> None:
-        self.service.write(updates)
+    def write(self, updates, fence=None) -> None:
+        self.service.fenced_write(updates, fence)
 
-    def apply_batch(self, updates, mcast=None, update_ids=None) -> None:
+    def apply_batch(
+        self, updates, mcast=None, update_ids=None, fence=None
+    ) -> None:
         # The caller (writer thread) binds the batch's update-id on the
         # context, which is how the service stamps the config epoch.
-        self.service.apply_batch(updates, mcast)
+        self.service.fenced_apply_batch(updates, mcast, fence)
 
     def read_table(self, table: str):
         return [
@@ -179,8 +181,8 @@ class _LocalDevice:
     def get_config_epoch(self):
         return self.service.get_config_epoch()
 
-    def set_config_epoch(self, epoch) -> None:
-        self.service.set_config_epoch(epoch)
+    def set_config_epoch(self, epoch, fence=None) -> None:
+        self.service.fenced_set_config_epoch(epoch, fence)
 
     def attach_digests(self, callback) -> None:
         sim = self.service.sim
@@ -226,11 +228,13 @@ class _RemoteDevice:
     #: backing client supports it (see :class:`_AioRemoteDevice`).
     asynchronous = False
 
-    def write(self, updates) -> None:
-        self.client.write(updates)
+    def write(self, updates, fence=None) -> None:
+        self.client.write(updates, fence=fence)
 
-    def apply_batch(self, updates, mcast=None, update_ids=None) -> None:
-        self.client.apply_batch(updates, mcast, update_ids)
+    def apply_batch(
+        self, updates, mcast=None, update_ids=None, fence=None
+    ) -> None:
+        self.client.apply_batch(updates, mcast, update_ids, fence=fence)
 
     def read_table(self, table: str):
         return self.client.read_table(table)
@@ -244,8 +248,8 @@ class _RemoteDevice:
     def get_config_epoch(self):
         return self.client.get_config_epoch()
 
-    def set_config_epoch(self, epoch) -> None:
-        self.client.set_config_epoch(epoch)
+    def set_config_epoch(self, epoch, fence=None) -> None:
+        self.client.set_config_epoch(epoch, fence=fence)
 
     def attach_digests(self, callback) -> None:
         self.client.subscribe_digests(callback)
@@ -274,10 +278,10 @@ class _AioRemoteDevice(_RemoteDevice):
     asynchronous = True
 
     def apply_batch_async(
-        self, updates, mcast, update_ids, callback, seq=None
+        self, updates, mcast, update_ids, callback, seq=None, fence=None
     ) -> None:
         self.client.apply_batch_async(
-            updates, mcast, update_ids, callback, seq=seq
+            updates, mcast, update_ids, callback, seq=seq, fence=fence
         )
 
     @property
@@ -452,6 +456,9 @@ class NerpaController:
         apply_plane: str = "aio",
         reactor=None,
         checkpoint_every: int = 8,
+        checkpoint_interval_s: Optional[float] = None,
+        fencing_epoch: Optional[int] = None,
+        warm_source: Optional[tuple] = None,
     ):
         self.project = project
         #: ``"aio"`` (default) drives stage 3 through one shared
@@ -477,6 +484,29 @@ class NerpaController:
         #: Cut a fresh full snapshot once the chain holds this many
         #: delta segments (``save_checkpoint(mode="auto")`` compaction).
         self.checkpoint_every = checkpoint_every
+        #: Background checkpoint cadence in seconds; ``None`` (default)
+        #: disables the timer.  When set (and ``state_dir`` is too), a
+        #: daemon thread calls ``save_checkpoint(mode="auto")`` every
+        #: interval while the pipeline runs; :meth:`stop` cancels it
+        #: before closing anything it depends on.
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self._ckpt_timer_stop: Optional[threading.Event] = None
+        self._ckpt_timer_thread: Optional[threading.Thread] = None
+        # Serializes save_checkpoint bodies: the background timer and an
+        # explicit caller may race, and the store's index/anchor
+        # bookkeeping is not concurrency-safe.
+        self._ckpt_lock = threading.RLock()
+        #: Checkpoints cut by the background timer.
+        self.auto_checkpoints = 0
+        #: Fencing epoch stamped on every device write this controller
+        #: issues (``None`` = unfenced, the single-controller default).
+        #: Devices reject writes carrying an epoch older than the
+        #: highest they have seen, so a deposed leader — paused, then
+        #: resumed after a takeover — cannot corrupt device state.
+        self._fencing_epoch: Optional[int] = fencing_epoch
+        # Hooks run at the top of stop(), before any transport is torn
+        # down (repro.core.ha releases its leadership lease here).
+        self._stop_hooks: List = []
         # Warm-start state: if a compatible checkpoint exists, restore
         # the engine from it instead of recomputing the fixpoint.  An
         # unreadable or hash-mismatched checkpoint silently degrades to
@@ -488,7 +518,19 @@ class NerpaController:
         self._warm_state: Optional[dict] = None
         self._ckpt_store: Optional[ckpt.CheckpointStore] = None
         runtime = None
-        if state_dir is not None:
+        if warm_source is not None:
+            # A warm standby (repro.core.ha.CheckpointFollower) hands
+            # over the runtime it kept hot by tailing the shared chain,
+            # plus the warm bookkeeping (mcast/seq/device_epochs) from
+            # the chain's tail — no disk load needed.  The store starts
+            # unanchored, so the first auto checkpoint cuts a fresh
+            # full snapshot (this controller is the chain's writer now).
+            runtime, handed_state = warm_source
+            if runtime is not None:
+                self._warm_state = dict(handed_state or {})
+            if state_dir is not None:
+                self._ckpt_store = self._make_store()
+        elif state_dir is not None:
             self._ckpt_store = self._make_store()
             try:
                 full, segments = self._ckpt_store.load_chain(
@@ -736,6 +778,14 @@ class NerpaController:
             self._on_updates(initial)
         self.mgmt.on_reconnect(self._on_mgmt_reconnect)
         self.drain()
+        if self.state_dir is not None and self.checkpoint_interval_s:
+            self._ckpt_timer_stop = threading.Event()
+            self._ckpt_timer_thread = threading.Thread(
+                target=self._checkpoint_timer_loop,
+                name="nerpa-ckpt-timer",
+                daemon=True,
+            )
+            self._ckpt_timer_thread.start()
         self.start_seconds = time.perf_counter() - started_at
         if obs.enabled():
             obs.REGISTRY.counter(
@@ -792,10 +842,40 @@ class NerpaController:
     def stop(self) -> None:
         """Drain best-effort, then shut the pipeline down.
 
-        Stopping a stack whose management plane is already down must
-        not raise out of teardown.
+        Teardown ordering is load-bearing (audited for the HA path):
+
+        1. cancel the background checkpoint timer — its saves submit
+           engine tasks, which must not race the queue close below;
+        2. run the registered stop hooks (lease release, etc.) while
+           the transports are still up;
+        3. drain, unsubscribe, close queues, join threads, stop the
+           fan-out plane, close the runtime.
+
+        Re-entrancy: stop() may be invoked from a pipeline thread (an
+        engine task or a monitor callback reacting to a lease-table
+        update).  Joining the calling thread would deadlock, so joins
+        of the current thread are skipped — the daemon thread exits on
+        its own once its closed queue drains.  Stopping a stack whose
+        management plane is already down must not raise out of
+        teardown.
         """
-        if self._started:
+        current = threading.current_thread()
+        timer_stop = self._ckpt_timer_stop
+        if timer_stop is not None:
+            timer_stop.set()
+        timer_thread = self._ckpt_timer_thread
+        if timer_thread is not None and timer_thread is not current:
+            timer_thread.join(timeout=5.0)
+        self._ckpt_timer_thread = None
+        self._ckpt_timer_stop = None
+        for hook in list(self._stop_hooks):
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
+        self._stop_hooks = []
+        on_engine = current is self._engine_thread
+        if self._started and not on_engine:
             try:
                 self.drain(timeout=10.0)
             except ReproError:
@@ -810,11 +890,12 @@ class NerpaController:
         for writer in self._writers:
             writer.queue.close()
         if self._engine_thread is not None:
-            self._engine_thread.join(timeout=2.0)
+            if not on_engine:
+                self._engine_thread.join(timeout=2.0)
             self._engine_thread = None
         for writer in self._writers:
             thread = getattr(writer, "thread", None)
-            if thread is not None:
+            if thread is not None and thread is not current:
                 thread.join(timeout=2.0)
         if self._fanout_plane is not None:
             self._fanout_plane.stop()
@@ -822,6 +903,12 @@ class NerpaController:
         close = getattr(self.runtime, "close", None)
         if close is not None:
             close()
+
+    def on_stop(self, hook) -> None:
+        """Register ``hook`` to run at the top of :meth:`stop`, before
+        any transport or thread is torn down.  Hooks run once and are
+        cleared; exceptions are swallowed (teardown must complete)."""
+        self._stop_hooks.append(hook)
 
     # -- warm-start checkpointing ------------------------------------------------
 
@@ -870,6 +957,10 @@ class NerpaController:
             raise ReproError("controller has no state_dir to checkpoint to")
         if mode not in ("auto", "full", "delta"):
             raise ReproError(f"unknown checkpoint mode {mode!r}")
+        with self._ckpt_lock:
+            return self._save_checkpoint_locked(mode)
+
+    def _save_checkpoint_locked(self, mode: str) -> str:
         started = time.perf_counter()
         if self._ckpt_store is None:
             self._ckpt_store = self._make_store()
@@ -940,6 +1031,23 @@ class NerpaController:
             )
         return path
 
+    def _checkpoint_timer_loop(self) -> None:
+        """Background-checkpoint thread: ``save_checkpoint("auto")``
+        every ``checkpoint_interval_s`` until :meth:`stop` sets the
+        event.  A save racing teardown (engine queue closed) degrades
+        to a no-op — the explicit stop-path checkpoint, if the caller
+        wants one, still runs under :attr:`_ckpt_lock`."""
+        stop = self._ckpt_timer_stop
+        interval = self.checkpoint_interval_s
+        while stop is not None and not stop.wait(interval):
+            try:
+                self.save_checkpoint(mode="auto")
+            except ReproError:
+                continue
+            self.auto_checkpoints += 1
+            if obs.enabled():
+                obs.REGISTRY.counter("controller_auto_checkpoints_total").inc()
+
     def _warm_restore(self, epochs: Dict[str, Optional[str]]):
         """Engine task for a warm start; returns the per-device tasks.
 
@@ -973,8 +1081,31 @@ class NerpaController:
                 deletes[relation] = list(stale)
             if missing:
                 inserts[relation] = list(missing)
-        # (2) Enqueue the warm sync decisions.
-        desired = self._desired_writes()
+        # (2) Probe each device's config epoch.  When every reachable
+        # device already reports its checkpointed epoch — the common
+        # fast-failover case — the O(state) desired-writes dump below
+        # is never taken, which is what keeps takeover latency
+        # independent of the derived-state size.  The probe is only an
+        # optimization: `_warm_sync` re-checks on the writer thread and
+        # falls back to a full `resync_device` if a device moved in
+        # between (e.g. a deposed leader wrote before being fenced).
+        need_dump = False
+        for writer in self._writers:
+            expected = epochs.get(writer.device.name)
+            if expected is None:
+                need_dump = True
+                continue
+            io = writer.device.io
+            if not io.wait_ready(0.0):
+                # Unreachable now → it will need a resync once back.
+                need_dump = True
+                continue
+            try:
+                if io.get_config_epoch() != expected:
+                    need_dump = True
+            except _TRANSPORT_ERRORS:
+                need_dump = True
+        desired = self._desired_writes() if need_dump else None
         mcast = {
             group: sorted(members)
             for group, members in self._mcast_members.items()
@@ -1010,12 +1141,18 @@ class NerpaController:
         self,
         device: _ManagedDevice,
         expected: Optional[str],
-        desired: List[TableWrite],
+        desired: Optional[List[TableWrite]],
         mcast: Dict[int, List[int]],
     ) -> None:
         """Writer-thread warm-start decision for one device: skip the
         full resync when the device's reported config epoch proves its
-        tables already hold the checkpointed desired state."""
+        tables already hold the checkpointed desired state.
+
+        ``desired`` is ``None`` when the engine-thread probe saw every
+        device epoch-matched and skipped the desired-state dump; a
+        mismatch discovered here anyway is repaired through
+        :meth:`resync_device`, whose snapshot supersedes the queued
+        delta batches."""
         io = device.io
         io.wait_ready(2.0)
         reported: Optional[str] = None
@@ -1026,12 +1163,32 @@ class NerpaController:
         if expected is not None and reported == expected:
             device.record_success()
             device.config_epoch = reported
+            if self._fencing_epoch is not None:
+                # The resync is skipped, but the device must still
+                # learn this leader's fencing epoch *during* takeover —
+                # otherwise the deposed leader's writes (stamped with
+                # the old epoch) would keep passing until our first
+                # batch happened to arrive.
+                try:
+                    io.set_config_epoch(reported, fence=self._fencing_epoch)
+                except _TRANSPORT_ERRORS:
+                    pass
             with self._stats_lock:
                 self.warm_skips += 1
             if obs.enabled():
                 obs.REGISTRY.counter(
                     "controller_warm_resync_skips_total", device=device.name
                 ).inc()
+            return
+        if desired is None:
+            # The probe said this device matched but it no longer does:
+            # something wrote to it in between.  Take a fresh engine
+            # snapshot (which by now includes the replayed delta) and
+            # repair; the snapshot task supersedes the delta batches
+            # queued behind this one, so nothing is applied twice.
+            # wait=False: the resync lands on *this* writer queue,
+            # behind the task executing right now.
+            self.resync_device(device, wait=False)
             return
         self._run_resync(
             device,
@@ -1438,13 +1595,15 @@ class NerpaController:
                     txns=batch.txns,
                 ) as span:
                     device.io.apply_batch(
-                        writes, batch.mcast, batch.update_ids
+                        writes, batch.mcast, batch.update_ids,
+                        fence=self._fencing_epoch,
                     )
                     span.set(applied=True)
             else:
                 with use_update_id(uid):
                     device.io.apply_batch(
-                        writes, batch.mcast, batch.update_ids
+                        writes, batch.mcast, batch.update_ids,
+                        fence=self._fencing_epoch,
                     )
         except _TRANSPORT_ERRORS as exc:
             self._batch_failed(device, exc)
@@ -1550,6 +1709,7 @@ class NerpaController:
                 batch.update_ids,
                 on_ack,
                 seq=(batch.seq, batch.last_seq),
+                fence=self._fencing_epoch,
             )
 
         if io.writable:
@@ -1608,7 +1768,7 @@ class NerpaController:
 
         return hook
 
-    def resync_device(self, device) -> None:
+    def resync_device(self, device, wait: bool = True) -> None:
         """Full-sync one device from the engine's output relations.
 
         ``device`` may be a :class:`_ManagedDevice` or an index into
@@ -1618,6 +1778,10 @@ class NerpaController:
         the read-diff repair — superseding any queued incremental
         batches, holding no controller-wide lock, and never blocking
         other devices or the engine.  Clears quarantine on success.
+
+        ``wait=False`` only enqueues the resync — required when the
+        caller itself runs on this device's writer thread (waiting for
+        a task queued behind the current one would deadlock).
         """
         if isinstance(device, int):
             device = self.devices[device]
@@ -1654,6 +1818,8 @@ class NerpaController:
             return task
 
         task = self._submit_engine(snapshot_and_enqueue)
+        if not wait:
+            return
         if not task.event.wait(30.0):
             raise ReproError(f"resync of {device.name} timed out")
         if task.error is not None:
@@ -1675,14 +1841,14 @@ class NerpaController:
         try:
             fixes = self._compute_fixes(io, desired_writes)
             if fixes:
-                io.write(fixes)
+                io.write(fixes, fence=self._fencing_epoch)
             for group in sorted(mcast):
                 io.set_multicast_group(group, mcast[group])
             if epoch is not None:
                 # A full sync leaves the device holding exactly the
                 # snapshotted desired state; stamp that fact so a later
                 # warm restart can recognize it.
-                io.set_config_epoch(epoch)
+                io.set_config_epoch(epoch, fence=self._fencing_epoch)
         except _TRANSPORT_ERRORS as exc:
             # Racing a second failure is normal; the next successful
             # reconnect triggers the resync again.
@@ -1747,6 +1913,15 @@ class NerpaController:
         return writes
 
     # -- shared plumbing ---------------------------------------------------------
+
+    @property
+    def fencing_epoch(self) -> Optional[int]:
+        return self._fencing_epoch
+
+    def set_fencing_epoch(self, epoch: Optional[int]) -> None:
+        """Stamp subsequent device writes with ``epoch`` (monotonically
+        increasing across leaderships; see ``repro.mgmt.lease``)."""
+        self._fencing_epoch = epoch
 
     def _mint_epoch(self, tag: str = "") -> str:
         """A process-unique config-epoch id.  The run-id prefix keeps a
@@ -1819,6 +1994,8 @@ class NerpaController:
                 "start_seconds": self.start_seconds,
                 "checkpoint_bytes": self.checkpoint_bytes,
                 "checkpoint_seconds": self.checkpoint_seconds,
+                "auto_checkpoints": self.auto_checkpoints,
+                "fencing_epoch": self._fencing_epoch,
             },
             "engine": self.runtime.profile(),
             "pipeline": {

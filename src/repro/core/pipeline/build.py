@@ -64,7 +64,14 @@ class NerpaProject:
         return {
             "dlog_rules": count_loc(self.user_source, kind="dlog"),
             "dlog_generated": count_loc(self.generated_source, kind="dlog"),
-            "schema_tables": len(self.schema.tables),
+            # Reserved "_" tables (e.g. the lease table a Database
+            # injects in place) are runtime infrastructure, not part of
+            # the application the paper's accounting measures.
+            "schema_tables": sum(
+                1
+                for name in self.schema.tables
+                if not name.startswith("_")
+            ),
         }
 
 

@@ -121,11 +121,26 @@ class CheckpointStore:
     validated on load.
     """
 
-    def __init__(self, directory: str, name: str, program_hash: Optional[str]):
+    def __init__(
+        self,
+        directory: str,
+        name: str,
+        program_hash: Optional[str],
+        heal: bool = True,
+    ):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.name = name
         self.program_hash = program_hash
+        #: Whether :meth:`load_segments` may unlink invalid tail
+        #: segments.  Only the chain's *writer* may heal: a concurrent
+        #: reader (a warm standby tailing the chain) that healed would
+        #: race the writer's ``save_full``/``save_delta`` and could
+        #: delete a segment of the *new* chain it has not yet observed
+        #: the anchor of — torching a valid chain.  Followers pass
+        #: ``heal=False`` and simply stop at the last contiguous
+        #: segment.
+        self.heal = heal
         self.full_path = os.path.join(directory, name)
         self._next_index = 1
         self._anchor: Optional[int] = None  # txn_count the chain has reached
@@ -186,22 +201,35 @@ class CheckpointStore:
         :class:`CheckpointError` exactly like :func:`load_checkpoint`."""
         return load_checkpoint(self.full_path)
 
-    def load_segments(self, base_txn: int) -> List[dict]:
+    def load_segments(self, base_txn: int, start_index: int = 1) -> List[dict]:
         """The validated segment chain anchored at ``base_txn`` (the
-        loaded full snapshot's transaction count).
+        loaded full snapshot's transaction count, or — for a follower
+        tailing the chain incrementally — the transaction count it has
+        already replayed, with ``start_index`` naming the next segment
+        it expects).
 
-        Walks segments in index order and stops at the first invalid
-        one — wrong format or hash, non-contiguous index, or a
-        transaction-counter interval that does not continue the chain.
-        Invalid tails are **unlinked** (self-healing: they are stale
-        leftovers of an older chain after an interrupted compaction).
-        Also re-anchors the store so subsequent :meth:`save_delta`
+        Walks segments in index order and stops at the last contiguous
+        valid one — wrong format or hash, non-contiguous index, a
+        transaction-counter interval that does not continue the chain,
+        or a torn in-progress file all end the walk.  When this store
+        is the chain's **writer** (``heal=True``, the default) the
+        invalid tail is unlinked: it is a stale leftover of an older
+        chain after an interrupted compaction, and the next
+        :meth:`save_delta` would collide with it.  A reader
+        (``heal=False``) must never unlink — the "invalid" tail may be
+        a segment of a *newer* chain the concurrent writer just
+        re-anchored.  Also re-anchors the store so subsequent
+        :meth:`save_delta` (writer) or :meth:`load_segments` (follower)
         calls continue the chain.
         """
         chain: List[dict] = []
         anchor = base_txn
-        expected = 1
-        paths = self._segment_paths()
+        expected = start_index
+        paths = [
+            path
+            for path in self._segment_paths()
+            if (self._index_of(path) or 0) >= start_index
+        ]
         valid_prefix = 0
         for path in paths:
             segment = self._read_segment(path)
@@ -221,11 +249,12 @@ class CheckpointStore:
             anchor = segment["txn_count"]
             expected += 1
             valid_prefix += 1
-        for path in paths[valid_prefix:]:
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+        if self.heal:
+            for path in paths[valid_prefix:]:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
         self._next_index = expected
         self._anchor = anchor
         self.segments_since_full = len(chain)

@@ -179,6 +179,38 @@ class ManagementClient:
             self._monitor_callbacks.pop(monitor_id, None)
         self.call("monitor_cancel", [monitor_id])
 
+    # -- leases (leader election; see repro.mgmt.lease) ---------------------
+
+    def lease_acquire(
+        self,
+        name: str,
+        owner: str,
+        ttl: float,
+        now: Optional[float] = None,
+        steal: bool = False,
+    ) -> Optional[dict]:
+        result = self.call("lease_acquire", [name, owner, ttl, now, steal])
+        return result["lease"]
+
+    def lease_renew(
+        self,
+        name: str,
+        owner: str,
+        epoch: int,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> bool:
+        result = self.call("lease_renew", [name, owner, epoch, ttl, now])
+        return bool(result["renewed"])
+
+    def lease_release(self, name: str, owner: str) -> bool:
+        result = self.call("lease_release", [name, owner])
+        return bool(result["released"])
+
+    def lease_get(self, name: str) -> Optional[dict]:
+        result = self.call("lease_get", [name])
+        return result["lease"]
+
     def _decode_updates(self, wire: dict) -> TableUpdates:
         schema = self.get_schema()
         updates = TableUpdates()

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.errors import SchemaError, TransactionError
+from repro.mgmt import lease as leaselib
 from repro.mgmt.monitor import Monitor, MonitorSpec, RowUpdate, TableUpdates
 from repro.mgmt.schema import DatabaseSchema
 from repro.mgmt.values import check_value
@@ -83,6 +84,10 @@ class Database:
         uuid_factory: Optional[Callable[[], str]] = None,
     ):
         self.schema = schema
+        # Every database carries the reserved lease table so leader
+        # election (repro.mgmt.lease / repro.core.ha) works through the
+        # ordinary transact/monitor machinery with no side channel.
+        leaselib.ensure_lease_table(schema)
         self._tables: Dict[str, Dict[str, dict]] = {
             name: {} for name in schema.tables
         }
@@ -235,6 +240,34 @@ class Database:
         if updates:
             self.txn_counter += 1
         return updates
+
+    # -- leases (leader election; see repro.mgmt.lease) -----------------------------
+
+    def lease_acquire(
+        self,
+        name: str,
+        owner: str,
+        ttl: float,
+        now: Optional[float] = None,
+        steal: bool = False,
+    ) -> Optional[dict]:
+        return leaselib.acquire(self.transact, name, owner, ttl, now, steal)
+
+    def lease_renew(
+        self,
+        name: str,
+        owner: str,
+        epoch: int,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> bool:
+        return leaselib.renew(self.transact, name, owner, epoch, ttl, now)
+
+    def lease_release(self, name: str, owner: str) -> bool:
+        return leaselib.release(self.transact, name, owner)
+
+    def lease_get(self, name: str) -> Optional[dict]:
+        return leaselib.peek(self.transact, name)
 
     # -- monitors --------------------------------------------------------------------
 

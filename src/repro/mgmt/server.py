@@ -148,6 +148,21 @@ class _Connection:
             if monitor is not None:
                 db.remove_monitor(monitor)
             return {}
+        # Lease methods (RFC 7047's lock/steal/unlock shape): thin
+        # wrappers over the database's transact-based lease ops, so a
+        # remote standby needs no knowledge of the op-list encoding.
+        if method == "lease_acquire":
+            name, owner, ttl, now, steal = params
+            return {"lease": db.lease_acquire(name, owner, ttl, now, steal)}
+        if method == "lease_renew":
+            name, owner, epoch, ttl, now = params
+            return {"renewed": db.lease_renew(name, owner, epoch, ttl, now)}
+        if method == "lease_release":
+            name, owner = params
+            return {"released": db.lease_release(name, owner)}
+        if method == "lease_get":
+            (name,) = params
+            return {"lease": db.lease_get(name)}
         raise ProtocolError(f"unknown method {method!r}")
 
     def _encode_result(self, result: dict) -> dict:

@@ -238,6 +238,10 @@ class TableState:
     def entries(self) -> List[TableEntry]:
         return list(self._entries.values())
 
+    def get(self, match_key: tuple) -> Optional[TableEntry]:
+        """The entry with this exact match key, or ``None``."""
+        return self._entries.get(match_key)
+
     def __len__(self):
         return len(self._entries)
 

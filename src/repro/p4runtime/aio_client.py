@@ -150,6 +150,7 @@ class AioP4RuntimeClient:
         callback: Optional[Callable] = None,
         seq: Optional[Tuple[int, int]] = None,
         timeout: Optional[float] = None,
+        fence: Optional[int] = None,
     ) -> None:
         """Issue one coalesced pipeline batch without blocking.
 
@@ -167,6 +168,8 @@ class AioP4RuntimeClient:
         }
         if seq is not None:
             envelope["seq"] = list(seq)
+        if fence is not None:
+            envelope["fence"] = fence
 
         def on_response(result, error):
             if callback is None:
@@ -188,11 +191,20 @@ class AioP4RuntimeClient:
     def echo(self, payload) -> object:
         return self.call("echo", payload, retryable=True)
 
-    def write(self, updates: Sequence[TableWrite]) -> int:
+    def write(
+        self,
+        updates: Sequence[TableWrite],
+        fence: Optional[int] = None,
+    ) -> int:
         wires = [u.to_wire() for u in updates]
         uid = current_update_id()
-        if uid is not None:
-            result = self.call("write", [{"updates": wires, "update_id": uid}])
+        if uid is not None or fence is not None:
+            envelope = {"updates": wires}
+            if uid is not None:
+                envelope["update_id"] = uid
+            if fence is not None:
+                envelope["fence"] = fence
+            result = self.call("write", [envelope])
         else:
             result = self.call("write", wires)
         return result["applied"]
@@ -202,6 +214,7 @@ class AioP4RuntimeClient:
         updates: Sequence[TableWrite],
         mcast: Optional[Dict[int, Optional[List[int]]]] = None,
         update_ids: Optional[Sequence[str]] = None,
+        fence: Optional[int] = None,
     ) -> int:
         envelope = {
             "updates": [u.to_wire() for u in updates],
@@ -211,6 +224,8 @@ class AioP4RuntimeClient:
             ],
             "update_ids": list(update_ids or ()),
         }
+        if fence is not None:
+            envelope["fence"] = fence
         result = self.call("apply_batch", [envelope])
         return result["applied"]
 
@@ -218,8 +233,13 @@ class AioP4RuntimeClient:
         result = self.call("get_config_epoch", [], retryable=True)
         return result["epoch"]
 
-    def set_config_epoch(self, epoch: Optional[str]) -> None:
-        self.call("set_config_epoch", [epoch])
+    def set_config_epoch(
+        self, epoch: Optional[str], fence: Optional[int] = None
+    ) -> None:
+        if fence is not None:
+            self.call("set_config_epoch", [epoch, fence])
+        else:
+            self.call("set_config_epoch", [epoch])
 
     def read_table(self, table: str) -> List[TableWrite]:
         result = self.call("read_table", [table], retryable=True)

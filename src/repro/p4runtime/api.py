@@ -20,6 +20,7 @@ on to keep data-plane state transactional like the rest of the stack.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
@@ -35,6 +36,23 @@ class WriteError(RuntimeApiError):
     def __init__(self, index: int, message: str):
         self.index = index
         super().__init__(f"update {index}: {message}")
+
+
+class FencedWriteError(RuntimeApiError):
+    """A write carried a fencing epoch older than the device's.
+
+    Raised *before* anything is applied — the batch has no effect.  A
+    semantic rejection, not a transport failure: a deposed controller
+    must not trip its circuit breaker and resync (it would fail the
+    same way); it must observe at drain() that it lost leadership.
+    """
+
+    def __init__(self, stale: int, current: int):
+        self.stale = stale
+        self.current = current
+        super().__init__(
+            f"write fenced: epoch {stale} deposed by epoch {current}"
+        )
 
 
 class TableWrite:
@@ -166,6 +184,74 @@ class DeviceService:
             return 0
         return self.write(updates)
 
+    # -- write fencing ------------------------------------------------------
+
+    def _fence_lock(self) -> threading.Lock:
+        # The lock (like the fence itself) lives on the *simulator*:
+        # each controller wraps a shared device in its own
+        # DeviceService/server, and fencing only means anything if all
+        # of them validate against one authoritative epoch.
+        lock = getattr(self.sim, "fence_lock", None)
+        if lock is None:
+            lock = self.sim.fence_lock = threading.Lock()
+        return lock
+
+    def fencing_epoch(self) -> Optional[int]:
+        """The highest fencing epoch any writer has presented (``None``
+        until a fenced write arrives)."""
+        return getattr(self.sim, "fencing_epoch", None)
+
+    def check_fence(self, fence: Optional[int]) -> None:
+        """Validate-and-advance the device's fencing epoch.
+
+        A write stamped with an epoch *older* than the highest seen is
+        from a deposed leader: reject it before it touches any state.
+        Unfenced writes (``fence=None``) pass — single-controller
+        deployments never mint an epoch.  Caller holds ``_fence_lock``
+        (or is otherwise serialized) for check-then-apply atomicity.
+        """
+        if fence is None:
+            return
+        current = getattr(self.sim, "fencing_epoch", None)
+        if current is not None and fence < current:
+            if obs.enabled():
+                obs.REGISTRY.counter(
+                    "device_fenced_writes_total", device=self.device_id
+                ).inc()
+            raise FencedWriteError(fence, current)
+        self.sim.fencing_epoch = fence
+
+    def fenced_write(
+        self, updates: Sequence[TableWrite], fence: Optional[int] = None
+    ) -> int:
+        if fence is None:
+            return self.write(updates)
+        with self._fence_lock():
+            self.check_fence(fence)
+            return self.write(updates)
+
+    def fenced_apply_batch(
+        self,
+        updates: Sequence[TableWrite],
+        mcast: Optional[dict] = None,
+        fence: Optional[int] = None,
+    ) -> int:
+        if fence is None:
+            return self.apply_batch(updates, mcast)
+        with self._fence_lock():
+            self.check_fence(fence)
+            return self.apply_batch(updates, mcast)
+
+    def fenced_set_config_epoch(
+        self, epoch: Optional[str], fence: Optional[int] = None
+    ) -> None:
+        if fence is None:
+            self.set_config_epoch(epoch)
+            return
+        with self._fence_lock():
+            self.check_fence(fence)
+            self.set_config_epoch(epoch)
+
     def _traced_write(self, updates: Sequence[TableWrite], uid) -> int:
         with obs.TRACER.span(
             "device.apply",
@@ -199,16 +285,15 @@ class DeviceService:
         if update.kind == "INSERT":
             table.insert(update.entry)
             return None
+        # ``TableState`` keys its entries by match key, so the
+        # pre-image needed for rollback is an O(1) lookup — a linear
+        # scan here turns a batch of modifies against a large table
+        # into O(batch * table) and dominates failover resync time.
+        old = table.get(update.entry.match_key())
         if update.kind == "MODIFY":
-            key = update.entry.match_key()
-            old = next(
-                (e for e in table.entries() if e.match_key() == key), None
-            )
             table.modify(update.entry)
-            return old
-        key = update.entry.match_key()
-        old = next((e for e in table.entries() if e.match_key() == key), None)
-        table.delete(update.entry)
+        else:
+            table.delete(update.entry)
         return old
 
     def _revert_one(self, update: TableWrite, old: Optional[TableEntry]) -> None:

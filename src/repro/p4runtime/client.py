@@ -108,13 +108,23 @@ class P4RuntimeClient:
     def echo(self, payload) -> object:
         return self.call("echo", payload, retryable=True)
 
-    def write(self, updates: Sequence[TableWrite]) -> int:
+    def write(
+        self,
+        updates: Sequence[TableWrite],
+        fence: Optional[int] = None,
+    ) -> int:
         wires = [u.to_wire() for u in updates]
         uid = current_update_id()
-        if uid is not None:
-            # Envelope form carries the update-id to the device side;
-            # the legacy bare list stays the wire format otherwise.
-            result = self.call("write", [{"updates": wires, "update_id": uid}])
+        if uid is not None or fence is not None:
+            # Envelope form carries the update-id and fencing epoch to
+            # the device side; the legacy bare list stays the wire
+            # format otherwise.
+            envelope = {"updates": wires}
+            if uid is not None:
+                envelope["update_id"] = uid
+            if fence is not None:
+                envelope["fence"] = fence
+            result = self.call("write", [envelope])
         else:
             result = self.call("write", wires)
         return result["applied"]
@@ -124,6 +134,7 @@ class P4RuntimeClient:
         updates: Sequence[TableWrite],
         mcast: Optional[Dict[int, Optional[List[int]]]] = None,
         update_ids: Optional[Sequence[str]] = None,
+        fence: Optional[int] = None,
     ) -> int:
         """Ship a coalesced pipeline batch — table writes plus
         multicast config plus every merged update-id — in one round
@@ -137,6 +148,8 @@ class P4RuntimeClient:
             ],
             "update_ids": list(update_ids or ()),
         }
+        if fence is not None:
+            envelope["fence"] = fence
         result = self.call("apply_batch", [envelope])
         return result["applied"]
 
@@ -151,8 +164,13 @@ class P4RuntimeClient:
         result = self.call("get_config_epoch", [], retryable=True)
         return result["epoch"]
 
-    def set_config_epoch(self, epoch: Optional[str]) -> None:
-        self.call("set_config_epoch", [epoch])
+    def set_config_epoch(
+        self, epoch: Optional[str], fence: Optional[int] = None
+    ) -> None:
+        if fence is not None:
+            self.call("set_config_epoch", [epoch, fence])
+        else:
+            self.call("set_config_epoch", [epoch])
 
     def read_table(self, table: str) -> List[TableWrite]:
         result = self.call("read_table", [table], retryable=True)

@@ -64,8 +64,10 @@ class FarmDevice:
         "tables",
         "mcast",
         "epoch",
+        "fence",
         "last_seq",
         "fifo_violations",
+        "fenced_rejections",
         "batches_applied",
         "updates_applied",
         "ack_delay",
@@ -76,13 +78,28 @@ class FarmDevice:
         self.tables: Dict[str, Dict[str, dict]] = {}
         self.mcast: Dict[int, List[int]] = {}
         self.epoch: Optional[str] = None
+        self.fence: Optional[int] = None
         self.last_seq: Optional[int] = None
         self.fifo_violations = 0
+        self.fenced_rejections = 0
         self.batches_applied = 0
         self.updates_applied = 0
         #: Seconds each response to this device is deferred (reactor
         #: timer — simulates a slow device without blocking the farm).
         self.ack_delay = 0.0
+
+    def check_fence(self, fence: Optional[int]) -> None:
+        """Reject writes stamped with a deposed leader's fencing epoch
+        (mirrors :meth:`repro.p4runtime.api.DeviceService.check_fence`;
+        the farm's loop serializes access, so no lock)."""
+        if fence is None:
+            return
+        if self.fence is not None and fence < self.fence:
+            self.fenced_rejections += 1
+            raise ProtocolError(
+                f"write fenced: epoch {fence} deposed by epoch {self.fence}"
+            )
+        self.fence = fence
 
     # -- write semantics -----------------------------------------------------
 
@@ -382,6 +399,7 @@ class DeviceFarm:
             return params
         if method == "apply_batch":
             (envelope,) = params
+            device.check_fence(envelope.get("fence"))
             for group, ports in envelope.get("mcast", []):
                 if ports:
                     device.mcast[int(group)] = list(ports)
@@ -401,6 +419,7 @@ class DeviceFarm:
                 and isinstance(params[0], dict)
                 and "updates" in params[0]
             ):
+                device.check_fence(params[0].get("fence"))
                 updates = params[0]["updates"]
                 uid = params[0].get("update_id")
                 if uid is not None:
@@ -416,7 +435,8 @@ class DeviceFarm:
         if method == "get_config_epoch":
             return {"epoch": device.epoch}
         if method == "set_config_epoch":
-            (epoch,) = params
+            epoch = params[0]
+            device.check_fence(params[1] if len(params) > 1 else None)
             device.epoch = epoch
             return {}
         if method == "set_multicast_group":

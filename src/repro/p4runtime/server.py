@@ -116,10 +116,13 @@ class _Connection:
                     TableWrite.from_wire(u) for u in params[0]["updates"]
                 ]
                 uid = params[0].get("update_id")
+                fence = params[0].get("fence")
                 if uid is not None:
                     with use_update_id(uid):
-                        return {"applied": service.write(updates)}
-                return {"applied": service.write(updates)}
+                        return {
+                            "applied": service.fenced_write(updates, fence)
+                        }
+                return {"applied": service.fenced_write(updates, fence)}
             updates = [TableWrite.from_wire(u) for u in params]
             return {"applied": service.write(updates)}
         if method == "apply_batch":
@@ -133,16 +136,24 @@ class _Connection:
                 for group, ports in envelope.get("mcast", [])
             }
             update_ids = envelope.get("update_ids") or []
+            fence = envelope.get("fence")
             uid = update_ids[-1] if update_ids else None
             if uid is not None:
                 with use_update_id(uid):
-                    return {"applied": service.apply_batch(updates, mcast)}
-            return {"applied": service.apply_batch(updates, mcast)}
+                    return {
+                        "applied": service.fenced_apply_batch(
+                            updates, mcast, fence
+                        )
+                    }
+            return {"applied": service.fenced_apply_batch(updates, mcast, fence)}
         if method == "get_config_epoch":
             return {"epoch": service.get_config_epoch()}
         if method == "set_config_epoch":
-            (epoch,) = params
-            service.set_config_epoch(epoch)
+            # A second param (fenced form) carries the writer's fencing
+            # epoch; a deposed leader's resync must not stamp devices.
+            epoch = params[0]
+            fence = params[1] if len(params) > 1 else None
+            service.fenced_set_config_epoch(epoch, fence)
             return {}
         if method == "read_table":
             (table,) = params

@@ -18,6 +18,7 @@ Three layers are covered:
 
 import pickle
 import threading
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -280,6 +281,57 @@ class TestCheckpointStore:
         store.save_delta([], 1)
         other = CheckpointStore(str(tmp_path), "engine.ckpt", "x" * 64)
         assert other.load_segments(0) == []
+
+    def test_reader_must_not_heal_a_concurrent_writers_chain(self, tmp_path):
+        """Regression: a reader (warm-standby follower) racing a writer
+        that just compacted sees segments that look stale relative to
+        its own anchor.  With ``heal=True`` it would unlink them —
+        destroying the *live writer's* chain.  Readers open the store
+        with ``heal=False`` and must leave the files alone."""
+        writer = self._store(tmp_path)
+        writer.save_full({"format": CHECKPOINT_FORMAT, "n": 10}, 10)
+        writer.save_delta([], 11)
+
+        reader = CheckpointStore(
+            str(tmp_path), "engine.ckpt", self.HASH, heal=False
+        )
+        full, segments = reader.load_chain(lambda f: f["n"])
+        assert full["n"] == 10 and len(segments) == 1
+
+        # The writer compacts and keeps appending: the old chain is
+        # gone, segment index 1 now belongs to the *new* chain.
+        writer.save_full({"format": CHECKPOINT_FORMAT, "n": 11}, 11)
+        writer.save_delta([], 12)
+        new_seg = tmp_path / "engine.ckpt.delta-000001.seg"
+        assert new_seg.exists()
+
+        # The reader tails from its stale position: the new segment is
+        # not contiguous with its anchor, so nothing is replayable —
+        # but the file MUST survive the attempt.
+        assert reader.load_segments(10, start_index=2) == []
+        assert reader.load_segments(10, start_index=1) == []
+        assert new_seg.exists(), "reader healed a concurrent writer's chain"
+
+        # The writer's chain is intact: a fresh store loads all of it.
+        full, segments = self._store(tmp_path).load_chain(lambda f: f["n"])
+        assert full["n"] == 11
+        assert [s["segment"] for s in segments] == [1]
+
+    def test_heal_false_keeps_torn_tail_heal_true_removes_it(self, tmp_path):
+        writer = self._store(tmp_path)
+        writer.save_full({"format": CHECKPOINT_FORMAT, "n": 1}, 1)
+        writer.save_delta([], 2)
+        torn = tmp_path / "engine.ckpt.delta-000002.seg"
+        torn.write_bytes(b"torn write")
+
+        reader = CheckpointStore(
+            str(tmp_path), "engine.ckpt", self.HASH, heal=False
+        )
+        assert [s["segment"] for s in reader.load_segments(1)] == [1]
+        assert torn.exists()
+        # The chain's writer self-heals on reload, as before.
+        assert [s["segment"] for s in self._store(tmp_path).load_segments(1)] == [1]
+        assert not torn.exists()
 
     def test_replay_segments_pins_txn_count(self):
         runtime = compile_program(JOIN_NEG_PROGRAM).start()
@@ -642,3 +694,128 @@ class TestCompactRace:
         recovered = restore(str(tmp_path), schema=schema)
         assert recovered.count("Vlan") == len(inserted)
         assert {row["vid"] for row in recovered.rows("Vlan")} == set(inserted)
+
+
+class TestBackgroundCheckpointTimer:
+    def _wait_for(self, predicate, timeout=15.0, what="condition"):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(0.005)
+        raise AssertionError(f"timed out waiting for {what}")
+
+    def test_timer_cuts_checkpoints_and_stop_cancels_it(self, tmp_path):
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=8)
+        controller = NerpaController(
+            project,
+            db,
+            [switch],
+            state_dir=str(tmp_path),
+            checkpoint_interval_s=0.01,
+        ).start()
+        _snvs_config(db, (0, 1))
+        controller.drain()
+        self._wait_for(
+            lambda: controller.auto_checkpoints >= 2,
+            what="background checkpoints",
+        )
+        timer = controller._ckpt_timer_thread
+        assert timer is not None and timer.is_alive()
+        controller.stop()
+        assert not timer.is_alive()
+        saves = controller.auto_checkpoints
+        time.sleep(0.05)
+        assert controller.auto_checkpoints == saves  # really cancelled
+        # What the timer persisted is a valid warm-start source.
+        second = NerpaController(
+            project,
+            db,
+            [project.new_simulator(n_ports=8)],
+            state_dir=str(tmp_path),
+        )
+        second.start(warm=True)
+        second.drain()
+        assert second.restart_mode == "warm"
+        assert len(second.devices[0].io.service.sim.table("in_vlan")) == 2
+        second.stop()
+
+    def test_timer_racing_explicit_saves_keeps_chain_valid(self, tmp_path):
+        """Regression: the background timer and an explicit
+        ``save_checkpoint()`` caller race on the store's index/anchor
+        bookkeeping; without the controller's checkpoint lock the chain
+        interleaves into segments that do not validate."""
+        project = build_snvs()
+        db = Database(project.schema)
+        switch = project.new_simulator(n_ports=16)
+        controller = NerpaController(
+            project,
+            db,
+            [switch],
+            state_dir=str(tmp_path),
+            checkpoint_interval_s=0.002,
+        ).start()
+        _snvs_config(db, (0,))
+        controller.drain()
+
+        stop = threading.Event()
+
+        def churn():
+            port = 1
+            while not stop.is_set():
+                db.transact(
+                    [
+                        {
+                            "op": "insert",
+                            "table": "Port",
+                            "row": {
+                                "name": f"p{port}",
+                                "port_num": (port % 15) + 1,
+                                "vlan_mode": "access",
+                                "tag": 10,
+                            },
+                        }
+                    ]
+                )
+                db.transact(
+                    [
+                        {
+                            "op": "delete",
+                            "table": "Port",
+                            "where": [["name", "==", f"p{port}"]],
+                        }
+                    ]
+                )
+                port += 1
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            controller.save_checkpoint("full")
+            for i in range(30):
+                controller.save_checkpoint(
+                    ("auto", "delta", "full")[i % 3]
+                )
+        finally:
+            stop.set()
+            churner.join(30.0)
+        assert not churner.is_alive()
+        controller.drain()
+        controller.save_checkpoint()
+        controller.stop()
+
+        # The chain survived the race: a fresh controller warm-starts
+        # from it and converges to the database's current state.
+        second = NerpaController(
+            project,
+            db,
+            [project.new_simulator(n_ports=16)],
+            state_dir=str(tmp_path),
+        )
+        second.start(warm=True)
+        second.drain()
+        assert second.restart_mode == "warm"
+        assert len(second.devices[0].io.service.sim.table("in_vlan")) == 1
+        second.stop()

@@ -104,7 +104,9 @@ class TestClientServer:
 
     def test_get_schema(self, client):
         schema = client.get_schema()
-        assert set(schema.tables) == {"Port", "Switch"}
+        # Every database carries the reserved _Lease table (leader
+        # election, repro.mgmt.lease) alongside the user's tables.
+        assert set(schema.tables) == {"Port", "Switch", "_Lease"}
 
     def test_transact_insert_and_select(self, client):
         results = client.transact(
